@@ -1,0 +1,109 @@
+"""Figure 7: proof-generation time (left) and memory (right) for the
+six TPC-H queries, PoneglyphDB vs ZKSQL, at 60k rows.
+
+Paper shape: PoneglyphDB is comparable to interactive ZKSQL overall,
+at least ~40% faster on Q1 and Q9 (fewer range-check/sort operations),
+and uses 23-60% of ZKSQL's memory.
+
+Method: every query's circuit is compiled and witnessed for real at
+reduced scale (exact per-row structure), the calibrated cost model maps
+that structure to paper-hardware seconds/GB, and the ZKSQL simulator
+prices the same logical plans at 60k-row cardinalities.
+"""
+
+from repro.baselines.zksql import ZkSqlSimulator
+from repro.bench.harness import calibration_from_q1, measure_query_pipeline, tpch_db
+from repro.bench.reporting import Report
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+from repro.tpch.queries import QUERIES
+
+PAPER_PONE = {"Q1": 180, "Q3": 161, "Q5": 313}  # Table 4 anchors
+PAPER_SCALE = 60_000
+
+
+def _paper_scale_sizes() -> dict[str, int]:
+    return {
+        "lineitem": 60_000,
+        "orders": 15_000,
+        "customer": 1_500,
+        "part": 2_000,
+        "partsupp": 8_000,
+        "supplier": 100,
+        "nation": 25,
+        "region": 5,
+    }
+
+
+def test_fig7_vs_zksql(bench_config, benchmark):
+    measurements = benchmark.pedantic(
+        lambda: [
+            measure_query_pipeline(bench_config, name) for name in QUERIES
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    calibration = calibration_from_q1(bench_config)
+
+    db = tpch_db(bench_config)
+    planner = Planner(db)
+    simulator = ZkSqlSimulator(_paper_scale_sizes())
+
+    rows = []
+    memory_rows = []
+    for m in measurements:
+        pone_seconds = calibration.proving_seconds(m.work, PAPER_SCALE)
+        pone_memory = calibration.memory_gb(m.work, PAPER_SCALE)
+        plan = planner.plan(parse(QUERIES[m.query]))
+        zk = simulator.estimate(plan, m.query)
+        zk_seconds = zk.proving_seconds
+        zk_memory = zk.memory_bytes / (1 << 30)
+        rows.append(
+            (
+                m.query,
+                f"{m.witness_seconds + m.mock_seconds:.2f}",
+                f"{pone_seconds:.0f}",
+                f"{zk_seconds:.0f}",
+                f"{zk_seconds / pone_seconds:.2f}x",
+                PAPER_PONE.get(m.query, "-"),
+            )
+        )
+        memory_rows.append(
+            (
+                m.query,
+                f"{pone_memory:.2f}",
+                f"{zk_memory:.2f}",
+                f"{pone_memory / zk_memory:.0%}",
+            )
+        )
+
+    report = Report("fig7_vs_zksql", "Figure 7: PoneglyphDB vs ZKSQL (60k rows)")
+    report.line("proving time:")
+    report.table(
+        [
+            "query",
+            "measured small-scale (s)",
+            "Pone est. @60k (s)",
+            "ZKSQL est. @60k (s)",
+            "ZKSQL/Pone",
+            "paper Pone (s)",
+        ],
+        rows,
+    )
+    report.line("\nmemory:")
+    report.table(
+        ["query", "Pone est. (GB)", "ZKSQL est. (GB)", "Pone/ZKSQL"],
+        memory_rows,
+    )
+    report.line(
+        "\npaper shape: Pone ~comparable overall, >=40% faster on Q1/Q9; "
+        "Pone memory 23-60% of ZKSQL's."
+    )
+    report.emit()
+
+    by_query = {r[0]: r for r in rows}
+    # Q1 advantage holds (ZKSQL/Pone ratio > 1.3 on Q1).
+    assert float(by_query["Q1"][4].rstrip("x")) > 1.3
+    # Memory band: every query's Pone/ZKSQL ratio below 100%.
+    for row in memory_rows:
+        assert float(row[3].rstrip("%")) < 100

@@ -1,0 +1,54 @@
+"""Figure 8: proof-generation breakdown for Q1.
+
+Paper: the base step ("circuit without any gates", fixed overhead of
+the public-parameter size) takes >50 s; the eight aggregations dominate
+the remainder; filter / group-by / order-by add smaller slices.
+
+Here Q1 is proven *for real* at reduced scale with the prover's stage
+instrumentation; the same stages are reported.
+"""
+
+from repro.bench.harness import real_prove_query
+from repro.bench.reporting import Report
+
+
+def test_fig8_breakdown_q1(bench_config, tpch_system, benchmark):
+    prover, verifier = tpch_system
+    response, _report = benchmark.pedantic(
+        lambda: real_prove_query(bench_config, "Q1", prover, verifier),
+        rounds=1,
+        iterations=1,
+    )
+    timing = response.timing
+    report = Report("fig8_breakdown_q1", "Figure 8: Q1 proof-generation breakdown")
+    report.line(
+        f"reduced scale: {bench_config.lineitem_rows} lineitem rows, "
+        f"k={bench_config.k}; total prove = {timing.total:.1f}s; "
+        f"proof = {response.proof_size_bytes / 1024:.1f} KB\n"
+    )
+    stages = [
+        ("compile circuit", timing.extra.get("compile", 0.0)),
+        ("witness generation (all gates)", timing.extra.get("witness", 0.0)),
+        ("keygen (fixed + sigma commitments)", timing.extra.get("keygen", 0.0)),
+        ("commit advice columns", timing.commit_advice),
+        ("lookup arguments (range checks/filters)", timing.lookups),
+        ("permutation + shuffle products (sort/group-by)", timing.permutations),
+        ("quotient (gate constraints incl. 8 aggregations)", timing.quotient),
+        ("evaluations at x", timing.evaluations),
+        ("multiopen (IPA)", timing.multiopen),
+    ]
+    total = timing.total or 1.0
+    report.table(
+        ["stage", "seconds", "share"],
+        [(name, f"{sec:.2f}", f"{sec / total:.0%}") for name, sec in stages],
+    )
+    report.line(
+        "\npaper shape: a fixed base step >50 s (public-parameter bound "
+        "FFT/MSM machinery) followed by aggregation-dominated gate work."
+    )
+    report.emit()
+    assert timing.total > 0
+    # Aggregation-bearing stages (quotient + commitments) dominate the
+    # gate work, mirroring the paper's figure.
+    gate_work = timing.quotient + timing.commit_advice + timing.permutations
+    assert gate_work > 0.3 * total

@@ -1,0 +1,48 @@
+"""Table 2: public-parameter generation time vs maximal circuit rows.
+
+Paper: 2^15 -> 104 s, 2^16 -> 221 s, 2^17 -> 410 s, 2^18 -> 832 s
+(one-time, trusted-setup-free, reusable).  Expected shape: time roughly
+doubles per k increment (linear in the number of generators).
+
+We measure generation at k = 6..9 and extrapolate the per-generator
+cost linearly to the paper's sizes.
+"""
+
+import time
+
+from repro.bench.reporting import Report
+from repro.commit import setup
+
+
+def test_table2_public_params(benchmark):
+    measured = {}
+
+    def generate_k8():
+        return setup(8, label=b"bench-t2")
+
+    benchmark.pedantic(generate_k8, rounds=1, iterations=1)
+
+    for k in (6, 7, 8, 9):
+        t0 = time.perf_counter()
+        setup(k, label=b"bench-t2-%d" % k)
+        measured[k] = time.perf_counter() - t0
+
+    # Linear model: seconds per generator from the largest measured run.
+    per_generator = measured[9] / (1 << 9)
+
+    paper = {15: 104, 16: 221, 17: 410, 18: 832}
+    report = Report("table2_public_params", "Table 2: public parameter generation")
+    rows = []
+    for k, seconds in measured.items():
+        rows.append((f"2^{k}", f"{seconds:.3f}", "-", "measured"))
+    for k, paper_seconds in paper.items():
+        estimate = per_generator * (1 << k)
+        rows.append((f"2^{k}", f"{estimate:.0f}", paper_seconds, "extrapolated"))
+    report.table(
+        ["max rows", "this repo (s)", "paper (s)", "kind"], rows
+    )
+    # Shape check: doubling k doubles the cost (within tolerance).
+    ratio = measured[9] / measured[8]
+    report.line(f"\nmeasured 2^9/2^8 ratio = {ratio:.2f} (paper's table: ~2.0)")
+    report.emit()
+    assert 1.4 < ratio < 2.8

@@ -1,0 +1,117 @@
+"""Table 4: PoneglyphDB vs Libra (GKR): proving time, verification
+time, proof size.
+
+Paper (60k rows):
+
+==============  ========  ============  ==========
+system / query  prove(s)  verify(s)     proof (KB)
+==============  ========  ============  ==========
+Libra Q1        812       1.290         435.8
+Libra Q3        997       1.212         411.4
+Libra Q5        1021      1.227         413.9
+Pone Q1         180       0.617         8.6
+Pone Q3         161       0.725         24.7
+Pone Q5         313       0.739         29.6
+==============  ========  ============  ==========
+
+Expected shape: PoneglyphDB wins proving by ~3-6x, verification ~2x,
+proof size ~15-50x.
+
+Both systems run for real here, on the same micro-workload (filter a
+column against a threshold and sum the survivors -- the comparison +
+aggregation pattern that dominates these queries):
+
+- PoneglyphDB: the PLONKish pipeline via ProverNode/VerifierNode;
+- Libra: our GKR implementation over the bit-decomposed comparator
+  circuit (:mod:`repro.baselines.gkr.sql_circuits`).
+"""
+
+import time
+
+from repro.baselines.gkr import gkr_prove, gkr_verify
+from repro.baselines.gkr.sql_circuits import filter_sum_circuit
+from repro.bench.reporting import Report
+from repro.commit import setup
+from repro.db import ColumnDef, Database, TableSchema
+from repro.db.types import INT
+from repro.system import ProverNode, VerifierNode
+
+N_ROWS = 8
+THRESHOLD = 120
+VALUES = [37, 210, 64, 155, 90, 12, 240, 101]
+
+
+def _pone_roundtrip():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [ColumnDef("id", INT), ColumnDef("v", INT)],
+            primary_key="id",
+        ),
+        [(i + 1, v) for i, v in enumerate(VALUES)],
+    )
+    params = setup(7)
+    prover = ProverNode(db, params, 7, limb_bits=4, value_bits=16, key_bits=16)
+    commitment = prover.publish_commitment()
+    verifier = VerifierNode(params, prover.public_metadata(), commitment)
+    t0 = time.perf_counter()
+    response = prover.answer(f"select sum(v) as s from t where v < {THRESHOLD}")
+    prove_s = time.perf_counter() - t0
+    report = verifier.verify(response)
+    assert report.accepted, report.reason
+    expected = sum(v for v in VALUES if v < THRESHOLD)
+    assert response.result[0][0] == expected
+    return prove_s, report.elapsed_seconds, response.proof_size_bytes
+
+
+def _libra_roundtrip():
+    circuit, inputs, _stats = filter_sum_circuit(VALUES, THRESHOLD, bits=8)
+    t0 = time.perf_counter()
+    proof = gkr_prove(circuit, inputs)
+    prove_s = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    assert gkr_verify(circuit, inputs, proof)
+    verify_s = time.perf_counter() - t1
+    return prove_s, verify_s, proof.size_bytes()
+
+
+def test_table4_vs_libra(benchmark):
+    pone = benchmark.pedantic(_pone_roundtrip, rounds=1, iterations=1)
+    libra = _libra_roundtrip()
+
+    report = Report("table4_vs_libra", "Table 4: PoneglyphDB vs Libra (GKR)")
+    report.line(f"micro-workload: filter+sum over {N_ROWS} rows, run for real\n")
+    report.table(
+        ["system", "prove (s)", "verify (s)", "proof (KB)"],
+        [
+            ("PoneglyphDB (measured)", f"{pone[0]:.2f}", f"{pone[1]:.3f}",
+             f"{pone[2] / 1024:.1f}"),
+            ("Libra/GKR (measured)", f"{libra[0]:.2f}", f"{libra[1]:.3f}",
+             f"{libra[2] / 1024:.1f}"),
+        ],
+    )
+    report.line("\npaper (60k rows):")
+    report.table(
+        ["system", "query", "prove (s)", "verify (s)", "proof (KB)"],
+        [
+            ("Libra", "Q1", 812, 1.290, 435.8),
+            ("Libra", "Q3", 997, 1.212, 411.4),
+            ("Libra", "Q5", 1021, 1.227, 413.9),
+            ("PoneglyphDB", "Q1", 180, 0.617, 8.6),
+            ("PoneglyphDB", "Q3", 161, 0.725, 24.7),
+            ("PoneglyphDB", "Q5", 313, 0.739, 29.6),
+        ],
+    )
+    size_ratio = libra[2] / pone[2]
+    report.line(
+        f"\nmeasured proof-size ratio (Libra/Pone) = {size_ratio:.1f}x; "
+        "paper's Q1 ratio = 50.7x, Q3 = 16.7x, Q5 = 14.0x"
+    )
+    report.line(
+        "shape check: GKR proofs grow with circuit depth x width "
+        "(bit decomposition), PLONKish proofs stay logarithmic."
+    )
+    report.emit()
+    # The headline shape: Libra's proof is larger.
+    assert libra[2] > pone[2] * 0.8

@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+All benchmarks run real cryptography at the reduced scale defined by
+:class:`repro.bench.BenchConfig` and extrapolate to paper scale with
+the calibrated cost model (see DESIGN.md, substitutions).
+"""
+
+import pytest
+
+from repro.bench import BenchConfig, build_tpch_system
+from repro.commit import setup
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BenchConfig()
+
+
+@pytest.fixture(scope="session")
+def bench_params(bench_config):
+    return setup(bench_config.k)
+
+
+@pytest.fixture(scope="session")
+def tpch_system(bench_config, bench_params):
+    """A committed TPC-H prover/verifier pair at reduced scale."""
+    return build_tpch_system(bench_config, bench_params)

@@ -1,0 +1,36 @@
+"""Finite-field and polynomial algebra substrate.
+
+PoneglyphDB's circuits live over the scalar field of the Pallas curve
+(a 255-bit prime field with two-adicity 32, as used by Halo2).  This
+package provides:
+
+- :mod:`repro.algebra.field` -- prime-field arithmetic contexts and an
+  ergonomic element wrapper,
+- :mod:`repro.algebra.poly` -- dense univariate polynomials,
+- :mod:`repro.algebra.domain` -- radix-2 FFT evaluation domains used by
+  the PLONKish prover.
+
+Internally, field elements are plain Python integers in ``[0, p)`` and
+all operations are routed through a :class:`~repro.algebra.field.Field`
+context object.  This keeps the prover's inner loops allocation-free
+while still offering the operator-overloaded
+:class:`~repro.algebra.field.Felt` wrapper at API boundaries.
+"""
+
+from repro.algebra.field import (
+    BASE_FIELD,
+    SCALAR_FIELD,
+    Field,
+    Felt,
+)
+from repro.algebra.domain import EvaluationDomain
+from repro.algebra.poly import Polynomial
+
+__all__ = [
+    "BASE_FIELD",
+    "SCALAR_FIELD",
+    "Field",
+    "Felt",
+    "EvaluationDomain",
+    "Polynomial",
+]

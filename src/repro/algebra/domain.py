@@ -1,0 +1,165 @@
+"""Radix-2 FFT evaluation domains.
+
+A PLONKish circuit with ``2^k`` rows is interpolated over the
+multiplicative subgroup ``H = <omega>`` of order ``2^k``.  The quotient
+(vanishing) argument needs evaluations on an *extended* coset domain of
+size ``2^(k + extension)`` so that products of column polynomials -- whose
+degree exceeds ``2^k`` -- are still uniquely determined.
+
+All transforms operate in place on lists of raw ints.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.field import Field
+
+
+def _bit_reverse_permute(values: list[int]) -> None:
+    """Reorder ``values`` (length a power of two) in bit-reversed index
+    order, in place."""
+    n = len(values)
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            values[i], values[j] = values[j], values[i]
+
+
+def fft_in_place(values: list[int], omega: int, p: int) -> None:
+    """Iterative Cooley-Tukey NTT over GF(p).
+
+    ``omega`` must be a primitive n-th root of unity for n = len(values).
+    """
+    n = len(values)
+    if n & (n - 1):
+        raise ValueError("fft size must be a power of two")
+    _bit_reverse_permute(values)
+    # Precompute the twiddle ladder: omega^(n/2m) for each stage.
+    length = 2
+    while length <= n:
+        w_m = pow(omega, n // length, p)
+        half = length // 2
+        # Twiddles for this stage.
+        ws = [1] * half
+        for i in range(1, half):
+            ws[i] = ws[i - 1] * w_m % p
+        for start in range(0, n, length):
+            for i in range(half):
+                lo = values[start + i]
+                hi = values[start + i + half] * ws[i] % p
+                values[start + i] = (lo + hi) % p
+                values[start + i + half] = (lo - hi) % p
+        length *= 2
+
+
+class EvaluationDomain:
+    """The order-``2^k`` multiplicative subgroup of a field, with
+    forward/inverse NTTs and coset transforms.
+
+    Parameters
+    ----------
+    field:
+        The prime field (two-adicity must be at least ``k``).
+    k:
+        log2 of the domain size.
+    """
+
+    __slots__ = ("field", "k", "size", "omega", "omega_inv", "size_inv")
+
+    def __init__(self, field: Field, k: int):
+        if k > field.two_adicity:
+            raise ValueError(
+                f"domain 2^{k} exceeds field two-adicity {field.two_adicity}"
+            )
+        self.field = field
+        self.k = k
+        self.size = 1 << k
+        self.omega = field.root_of_unity_of_order(self.size)
+        self.omega_inv = field.inv(self.omega)
+        self.size_inv = field.inv(self.size)
+
+    # -- transforms -----------------------------------------------------
+
+    def fft(self, coeffs: list[int]) -> list[int]:
+        """Coefficients -> evaluations over H.  Input shorter than the
+        domain is zero-padded; longer input is rejected."""
+        if len(coeffs) > self.size:
+            raise ValueError("polynomial larger than domain")
+        values = list(coeffs) + [0] * (self.size - len(coeffs))
+        fft_in_place(values, self.omega, self.field.p)
+        return values
+
+    def ifft(self, evals: list[int]) -> list[int]:
+        """Evaluations over H -> coefficients."""
+        if len(evals) != self.size:
+            raise ValueError("evaluation vector must match domain size")
+        values = list(evals)
+        fft_in_place(values, self.omega_inv, self.field.p)
+        p, n_inv = self.field.p, self.size_inv
+        return [v * n_inv % p for v in values]
+
+    def coset_fft(self, coeffs: list[int], shift: int) -> list[int]:
+        """Coefficients -> evaluations over the coset ``shift * H``."""
+        p = self.field.p
+        scaled = list(coeffs) + [0] * (self.size - len(coeffs))
+        power = 1
+        for i in range(len(coeffs)):
+            scaled[i] = scaled[i] * power % p
+            power = power * shift % p
+        fft_in_place(scaled, self.omega, p)
+        return scaled
+
+    def coset_ifft(self, evals: list[int], shift: int) -> list[int]:
+        """Evaluations over ``shift * H`` -> coefficients."""
+        coeffs = self.ifft(evals)
+        p = self.field.p
+        shift_inv = self.field.inv(shift)
+        power = 1
+        for i in range(len(coeffs)):
+            coeffs[i] = coeffs[i] * power % p
+            power = power * shift_inv % p
+        return coeffs
+
+    # -- helpers ----------------------------------------------------------
+
+    def elements(self) -> list[int]:
+        """All domain elements ``[1, omega, omega^2, ...]`` in order."""
+        p = self.field.p
+        out = [1] * self.size
+        for i in range(1, self.size):
+            out[i] = out[i - 1] * self.omega % p
+        return out
+
+    def vanishing_eval(self, x: int) -> int:
+        """Evaluate the vanishing polynomial ``Z_H(X) = X^n - 1`` at x."""
+        return (pow(x, self.size, self.field.p) - 1) % self.field.p
+
+    def rotated_point(self, x: int, rotation: int) -> int:
+        """``x * omega^rotation`` -- the query point for a column opened
+        at a row offset (PLONK "rotation")."""
+        p = self.field.p
+        if rotation >= 0:
+            return x * pow(self.omega, rotation, p) % p
+        return x * pow(self.omega_inv, -rotation, p) % p
+
+    def lagrange_basis_eval(self, i: int, x: int) -> int:
+        """Evaluate the i-th Lagrange basis polynomial L_i(X) over H at
+        an arbitrary point x (used by the verifier for instance columns).
+
+        L_i(x) = (omega^i / n) * (x^n - 1) / (x - omega^i).
+        """
+        p = self.field.p
+        omega_i = pow(self.omega, i, p)
+        num = self.vanishing_eval(x) * omega_i % p * self.size_inv % p
+        den = (x - omega_i) % p
+        if den == 0:
+            # x is in the domain: L_i(omega^j) = [i == j].
+            return 1 if x == omega_i else 0
+        return num * self.field.inv(den) % p
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EvaluationDomain(k={self.k}, n={self.size})"

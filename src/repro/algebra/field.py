@@ -1,0 +1,329 @@
+"""Prime-field arithmetic for the Pasta curves.
+
+Two fields are provided as module-level singletons:
+
+- :data:`BASE_FIELD` -- the Pallas base field ``Fp`` (the coordinate
+  field of Pallas points),
+- :data:`SCALAR_FIELD` -- the Pallas scalar field ``Fq`` (the field the
+  PLONKish circuits are arithmetized over; equals the Vesta base field).
+
+Both primes have two-adicity 32 (``2^32 | p - 1``), which is what makes
+radix-2 FFTs over them possible -- the property Halo2 and this
+reproduction rely on for the vanishing argument.
+
+Design note: raw field elements are plain Python ``int`` values in
+``[0, p)``.  A :class:`Field` object is the arithmetic context (it knows
+the modulus and caches derived constants such as roots of unity), and
+:class:`Felt` is a thin operator-overloaded wrapper used at public API
+boundaries and in tests.  Hot loops in the prover work directly on ints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from typing import Iterable, Sequence
+
+# The Pasta primes (as used by zcash/halo2).
+PALLAS_BASE_MODULUS = (
+    0x40000000000000000000000000000000224698FC094CF91B992D30ED00000001
+)
+PALLAS_SCALAR_MODULUS = (
+    0x40000000000000000000000000000000224698FC0994A8DD8C46EB2100000001
+)
+
+
+class Field:
+    """An arithmetic context for a prime field GF(p).
+
+    All methods take and return plain integers reduced modulo ``p``.
+    The context precomputes the field's two-adicity and a maximal-order
+    2-power root of unity, which the FFT domains build on.
+    """
+
+    __slots__ = (
+        "p",
+        "name",
+        "two_adicity",
+        "root_of_unity",
+        "multiplicative_generator",
+        "_byte_length",
+    )
+
+    def __init__(self, modulus: int, name: str = "Fp"):
+        if modulus < 3 or modulus % 2 == 0:
+            raise ValueError(f"modulus must be an odd prime, got {modulus}")
+        self.p = modulus
+        self.name = name
+        self._byte_length = (modulus.bit_length() + 7) // 8
+
+        # Two-adicity: the largest s with 2^s | p - 1.
+        t = modulus - 1
+        s = 0
+        while t % 2 == 0:
+            t //= 2
+            s += 1
+        self.two_adicity = s
+
+        # A quadratic non-residue g gives a root of unity of exact
+        # order 2^s via g^t.  Small candidates are tested with the
+        # Euler criterion.
+        generator = 0
+        for candidate in range(2, 1000):
+            if pow(candidate, (modulus - 1) // 2, modulus) == modulus - 1:
+                generator = candidate
+                break
+        if not generator:
+            raise ValueError("could not find a quadratic non-residue")
+        self.multiplicative_generator = generator
+        self.root_of_unity = pow(generator, t, modulus)
+
+    # -- basic ops ----------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.p
+
+    def square(self, a: int) -> int:
+        return (a * a) % self.p
+
+    def pow(self, a: int, e: int) -> int:
+        if e < 0:
+            return pow(self.inv(a), -e, self.p)
+        return pow(a, e, self.p)
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError on 0."""
+        if a % self.p == 0:
+            raise ZeroDivisionError(f"0 has no inverse in {self.name}")
+        return pow(a, self.p - 2, self.p)
+
+    def div(self, a: int, b: int) -> int:
+        return (a * self.inv(b)) % self.p
+
+    def reduce(self, a: int) -> int:
+        return a % self.p
+
+    # -- batch operations ----------------------------------------------
+
+    def batch_inv(self, values: Sequence[int]) -> list[int]:
+        """Invert many nonzero elements with a single field inversion.
+
+        Montgomery's trick: O(n) multiplications plus one inversion.
+        Zero inputs raise ZeroDivisionError (callers in the prover
+        guarantee nonzero denominators by construction).
+        """
+        p = self.p
+        n = len(values)
+        if n == 0:
+            return []
+        prefix = [0] * n
+        acc = 1
+        for i, v in enumerate(values):
+            v %= p
+            if v == 0:
+                raise ZeroDivisionError("batch_inv of zero element")
+            prefix[i] = acc
+            acc = acc * v % p
+        inv_acc = pow(acc, p - 2, p)
+        out = [0] * n
+        for i in range(n - 1, -1, -1):
+            out[i] = prefix[i] * inv_acc % p
+            inv_acc = inv_acc * (values[i] % p) % p
+        return out
+
+    def sum(self, values: Iterable[int]) -> int:
+        total = 0
+        for v in values:
+            total += v
+        return total % self.p
+
+    def product(self, values: Iterable[int]) -> int:
+        acc = 1
+        p = self.p
+        for v in values:
+            acc = acc * v % p
+        return acc
+
+    # -- square roots (needed for hash-to-curve) ------------------------
+
+    def legendre(self, a: int) -> int:
+        """Legendre symbol: 1 for QR, -1 for non-residue, 0 for zero."""
+        a %= self.p
+        if a == 0:
+            return 0
+        r = pow(a, (self.p - 1) // 2, self.p)
+        return 1 if r == 1 else -1
+
+    def sqrt(self, a: int) -> int | None:
+        """Tonelli-Shanks square root, or None when ``a`` is a non-residue."""
+        p = self.p
+        a %= p
+        if a == 0:
+            return 0
+        if self.legendre(a) != 1:
+            return None
+        # Write p - 1 = q * 2^s with q odd.
+        q, s = p - 1, 0
+        while q % 2 == 0:
+            q //= 2
+            s += 1
+        z = self.multiplicative_generator
+        m, c, t, r = s, pow(z, q, p), pow(a, q, p), pow(a, (q + 1) // 2, p)
+        while t != 1:
+            # Find least i with t^(2^i) == 1.
+            i, t2i = 0, t
+            while t2i != 1:
+                t2i = t2i * t2i % p
+                i += 1
+            b = pow(c, 1 << (m - i - 1), p)
+            m, c = i, b * b % p
+            t, r = t * c % p, r * b % p
+        return min(r, p - r)
+
+    # -- element construction -------------------------------------------
+
+    def rand(self) -> int:
+        """A uniformly random field element (cryptographic randomness)."""
+        return secrets.randbelow(self.p)
+
+    def from_signed(self, v: int) -> int:
+        """Embed a signed integer, mapping negatives to ``p - |v|``."""
+        return v % self.p
+
+    def to_signed(self, a: int) -> int:
+        """Lift back to a signed integer, choosing the representative
+        closest to zero (used to decode small query outputs)."""
+        a %= self.p
+        return a - self.p if a > self.p // 2 else a
+
+    def from_bytes(self, data: bytes) -> int:
+        return int.from_bytes(data, "little") % self.p
+
+    def to_bytes(self, a: int) -> bytes:
+        return (a % self.p).to_bytes(self._byte_length, "little")
+
+    def hash_to_field(self, *chunks: bytes) -> int:
+        """Hash arbitrary bytes to a field element (64-byte expand to
+        keep the output statistically uniform)."""
+        h = hashlib.blake2b(digest_size=64)
+        for chunk in chunks:
+            h.update(chunk)
+        return int.from_bytes(h.digest(), "little") % self.p
+
+    # -- roots of unity ---------------------------------------------------
+
+    def root_of_unity_of_order(self, order: int) -> int:
+        """A primitive ``order``-th root of unity; order must be a power
+        of two not exceeding ``2^two_adicity``."""
+        if order <= 0 or order & (order - 1):
+            raise ValueError(f"order must be a power of two, got {order}")
+        log_order = order.bit_length() - 1
+        if log_order > self.two_adicity:
+            raise ValueError(
+                f"no root of unity of order 2^{log_order} in {self.name} "
+                f"(two-adicity {self.two_adicity})"
+            )
+        omega = self.root_of_unity
+        for _ in range(self.two_adicity - log_order):
+            omega = omega * omega % self.p
+        return omega
+
+    # -- misc ------------------------------------------------------------
+
+    def felt(self, v: int) -> "Felt":
+        return Felt(self, v % self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Field({self.name}, 2^{self.p.bit_length() - 1}-ish modulus)"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Field) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("Field", self.p))
+
+
+class Felt:
+    """Operator-overloaded field element bound to a :class:`Field`.
+
+    Arithmetic between a ``Felt`` and a plain ``int`` is supported and
+    returns a ``Felt``; mixing elements of different fields raises.
+    """
+
+    __slots__ = ("field", "n")
+
+    def __init__(self, field: Field, n: int):
+        self.field = field
+        self.n = n % field.p
+
+    def _coerce(self, other: "Felt | int") -> int:
+        if isinstance(other, Felt):
+            if other.field.p != self.field.p:
+                raise ValueError("field mismatch")
+            return other.n
+        if isinstance(other, int):
+            return other % self.field.p
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: "Felt | int") -> "Felt":
+        return Felt(self.field, self.n + self._coerce(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Felt | int") -> "Felt":
+        return Felt(self.field, self.n - self._coerce(other))
+
+    def __rsub__(self, other: "Felt | int") -> "Felt":
+        return Felt(self.field, self._coerce(other) - self.n)
+
+    def __mul__(self, other: "Felt | int") -> "Felt":
+        return Felt(self.field, self.n * self._coerce(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Felt | int") -> "Felt":
+        return Felt(self.field, self.n * self.field.inv(self._coerce(other)))
+
+    def __rtruediv__(self, other: "Felt | int") -> "Felt":
+        return Felt(self.field, self._coerce(other) * self.field.inv(self.n))
+
+    def __pow__(self, e: int) -> "Felt":
+        return Felt(self.field, self.field.pow(self.n, e))
+
+    def __neg__(self) -> "Felt":
+        return Felt(self.field, -self.n)
+
+    def inv(self) -> "Felt":
+        return Felt(self.field, self.field.inv(self.n))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Felt):
+            return other.field.p == self.field.p and other.n == self.n
+        if isinstance(other, int):
+            return self.n == other % self.field.p
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.n))
+
+    def __int__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"Felt({self.n})"
+
+
+#: Pallas base field -- coordinates of Pallas curve points live here.
+BASE_FIELD = Field(PALLAS_BASE_MODULUS, name="Fp")
+
+#: Pallas scalar field -- the circuit field used throughout PoneglyphDB.
+SCALAR_FIELD = Field(PALLAS_SCALAR_MODULUS, name="Fq")

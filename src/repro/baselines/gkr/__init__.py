@@ -1,0 +1,28 @@
+"""The GKR protocol (Goldwasser-Kalai-Rothblum), as used by Libra.
+
+A complete, working implementation: multilinear extensions, the
+sumcheck protocol, layered arithmetic circuits, and the layer-by-layer
+GKR prover/verifier made non-interactive with Fiat-Shamir.  The paper
+benchmarks PoneglyphDB against Libra (Table 4); this package lets the
+benchmark run the *actual protocol* at reduced scale and exposes why
+Libra loses on SQL workloads -- 64-bit bitwise comparison circuits blow
+up depth and width (see :mod:`repro.baselines.gkr.sql_circuits`).
+"""
+
+from repro.baselines.gkr.circuit import Gate, GateKind, Layer, LayeredCircuit
+from repro.baselines.gkr.multilinear import MultilinearPoly
+from repro.baselines.gkr.protocol import GkrProof, gkr_prove, gkr_verify
+from repro.baselines.gkr.sumcheck import sumcheck_prove, sumcheck_verify
+
+__all__ = [
+    "Gate",
+    "GateKind",
+    "Layer",
+    "LayeredCircuit",
+    "MultilinearPoly",
+    "GkrProof",
+    "gkr_prove",
+    "gkr_verify",
+    "sumcheck_prove",
+    "sumcheck_verify",
+]

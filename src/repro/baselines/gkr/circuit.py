@@ -1,0 +1,95 @@
+"""Layered arithmetic circuits for the GKR protocol.
+
+Layer 0 holds the inputs; layer ``j`` gates read two outputs of layer
+``j-1``.  Every layer is padded to a power of two with ``mul(0, 0)``
+gates, which requires the builder convention that **input 0 is the
+constant 0** (and, for convenience, input 1 the constant 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.algebra.field import Field, SCALAR_FIELD
+
+
+class GateKind(enum.Enum):
+    ADD = "add"
+    MUL = "mul"
+
+
+@dataclass(frozen=True)
+class Gate:
+    kind: GateKind
+    left: int
+    right: int
+
+
+@dataclass
+class Layer:
+    gates: list[Gate]
+
+    @property
+    def k(self) -> int:
+        return max(1, (len(self.gates) - 1).bit_length())
+
+    def padded(self) -> list[Gate]:
+        pad = (1 << self.k) - len(self.gates)
+        return self.gates + [Gate(GateKind.MUL, 0, 0)] * pad
+
+
+class LayeredCircuit:
+    """A fan-in-2 layered circuit."""
+
+    def __init__(self, num_inputs: int):
+        if num_inputs < 2:
+            raise ValueError("need at least the two constant inputs")
+        self.num_inputs = num_inputs
+        self.layers: list[Layer] = []
+
+    @property
+    def input_k(self) -> int:
+        return max(1, (self.num_inputs - 1).bit_length())
+
+    def add_layer(self, gates: list[Gate]) -> None:
+        prev_size = (
+            len(self.layers[-1].gates) if self.layers else self.num_inputs
+        )
+        for gate in gates:
+            if gate.left >= prev_size or gate.right >= prev_size:
+                raise ValueError("gate references out-of-range wire")
+        self.layers.append(Layer(list(gates)))
+
+    def evaluate(
+        self, inputs: list[int], field: Field = SCALAR_FIELD
+    ) -> list[list[int]]:
+        """All layer value vectors, padded; index 0 is the input layer."""
+        if len(inputs) != self.num_inputs:
+            raise ValueError("wrong input count")
+        if inputs[0] != 0:
+            raise ValueError("input 0 must be the constant 0 (padding)")
+        p = field.p
+        k0 = self.input_k
+        values = [list(v % p for v in inputs) + [0] * ((1 << k0) - len(inputs))]
+        for layer in self.layers:
+            prev = values[-1]
+            row = []
+            for gate in layer.padded():
+                lhs, rhs = prev[gate.left], prev[gate.right]
+                if gate.kind is GateKind.ADD:
+                    row.append((lhs + rhs) % p)
+                else:
+                    row.append(lhs * rhs % p)
+            values.append(row)
+        return values
+
+    def size(self) -> dict[str, int]:
+        return {
+            "depth": len(self.layers),
+            "gates": sum(len(layer.gates) for layer in self.layers),
+            "inputs": self.num_inputs,
+            "max_width": max(
+                [self.num_inputs] + [len(l.gates) for l in self.layers]
+            ),
+        }

@@ -1,0 +1,182 @@
+"""ZKSQL cost simulator (the interactive baseline of Figure 7).
+
+ZKSQL [Li et al., VLDB 2023] evaluates SQL queries inside an
+interactive VOLE-based ZK protocol over *boolean* circuits, splitting
+the query into per-operator sub-circuits verified round by round.  Its
+artifact is not available offline, so this module reproduces its cost
+*model*: every operator's boolean-gate count is computed from the same
+logical plans PoneglyphDB executes (with ZKSQL's dummy-tuple padding,
+so cardinalities are the padded input sizes), and gates/rounds are
+mapped to seconds/bytes with constants calibrated on the paper's
+figures (anchor: Q1 at 60k rows, where Figure 7 shows PoneglyphDB
+about 40% faster).
+
+Gate-count model (64-bit values, standard boolean building blocks):
+
+- comparison: ``3 * bits`` gates (ripple comparator),
+- equality: ``2 * bits``,
+- addition: ``5 * bits`` (full adders),
+- multiplication: ``2 * bits^2`` (schoolbook),
+- sort / group-by: Batcher odd-even merge network,
+  ``n/2 * log2(n)^2`` compare-exchange units of ``6 * bits`` gates,
+- join: sort-merge over both inputs plus a linear merge scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.ast import Between, BinOp, BinOpKind, InList, Logical, Not
+from repro.sql.plan import (
+    AggregateNode,
+    DeriveNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    Scan,
+    SortNode,
+    walk,
+)
+
+BITS = 64
+
+#: seconds per boolean gate (calibrated so Q1@60k lands near the
+#: paper's Figure 7 ZKSQL bar, ~1.66x PoneglyphDB's 180 s).  Note: the
+#: simulator pads every operator to its input cardinality (oblivious
+#: costing); interactive ZKSQL can exploit revealed intermediate sizes,
+#: so join-heavy queries are overpriced relative to the paper's bars --
+#: the Q1/Q9 advantage shape is preserved, absolute ZKSQL bars for
+#: Q3/Q5/Q8 read high (documented in EXPERIMENTS.md).
+SECONDS_PER_GATE = 4.95e-8
+#: seconds per interactive round trip (LAN, as in the ZKSQL paper).
+SECONDS_PER_ROUND = 0.25e-3
+#: bytes of live VOLE correlation state per gate of the largest
+#: operator sub-circuit (calibrated so PoneglyphDB's memory lands in
+#: the paper's 23-60% band).
+BYTES_PER_GATE = 1.35
+MEMORY_BASE_BYTES = 256 << 20
+
+
+def _log2ceil(n: int) -> int:
+    return max(1, (max(n, 2) - 1).bit_length())
+
+
+def _comparison_gates(bits: int = BITS) -> int:
+    return 3 * bits
+
+
+def _sort_gates(n: int, bits: int = BITS) -> int:
+    log = _log2ceil(n)
+    comparators = (n // 2) * log * log
+    return comparators * 6 * bits
+
+
+@dataclass
+class OperatorCost:
+    name: str
+    gates: int
+    rounds: int
+
+
+@dataclass
+class ZkSqlEstimate:
+    query: str
+    operators: list[OperatorCost] = field(default_factory=list)
+
+    @property
+    def total_gates(self) -> int:
+        return sum(op.gates for op in self.operators)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(op.rounds for op in self.operators)
+
+    @property
+    def proving_seconds(self) -> float:
+        return (
+            self.total_gates * SECONDS_PER_GATE
+            + self.total_rounds * SECONDS_PER_ROUND
+        )
+
+    @property
+    def memory_bytes(self) -> int:
+        peak = max((op.gates for op in self.operators), default=0)
+        return int(peak * BYTES_PER_GATE) + MEMORY_BASE_BYTES
+
+
+class ZkSqlSimulator:
+    """Estimate ZKSQL's cost for a logical plan at given base-table
+    cardinalities."""
+
+    def __init__(self, table_sizes: dict[str, int], bits: int = BITS):
+        self.table_sizes = table_sizes
+        self.bits = bits
+
+    def estimate(self, plan: PlanNode, query_name: str = "") -> ZkSqlEstimate:
+        estimate = ZkSqlEstimate(query_name)
+        sizes: dict[int, int] = {}
+        for node in walk(plan):
+            if isinstance(node, Scan):
+                sizes[id(node)] = self.table_sizes[node.table]
+            elif isinstance(node, FilterNode):
+                n = sizes[id(node.child)]
+                sizes[id(node)] = n  # dummy-padded
+                leaves = _predicate_leaves(node.predicate)
+                gates = n * leaves * _comparison_gates(self.bits)
+                estimate.operators.append(OperatorCost("filter", gates, 2))
+            elif isinstance(node, JoinNode):
+                n1 = sizes[id(node.left)]
+                n2 = sizes[id(node.right)]
+                sizes[id(node)] = n1
+                gates = (
+                    _sort_gates(n1, self.bits)
+                    + _sort_gates(n2, self.bits)
+                    + (n1 + n2) * _comparison_gates(self.bits)
+                )
+                estimate.operators.append(OperatorCost("join", gates, 4))
+            elif isinstance(node, DeriveNode):
+                n = sizes[id(node.child)]
+                sizes[id(node)] = n
+                # arithmetic on 64-bit values: one multiplication-ish op
+                estimate.operators.append(
+                    OperatorCost("derive", n * 2 * self.bits ** 2 // 32, 1)
+                )
+            elif isinstance(node, AggregateNode):
+                n = sizes[id(node.child)]
+                groups = max(2, min(n, 1 << (self.bits // 8)))
+                sizes[id(node)] = n
+                gates = _sort_gates(n, self.bits)
+                for _spec in node.aggregates:
+                    gates += n * 5 * self.bits  # running adders
+                estimate.operators.append(
+                    OperatorCost("group-by", gates, 3)
+                )
+            elif isinstance(node, SortNode):
+                n = sizes[id(node.child)]
+                sizes[id(node)] = n
+                estimate.operators.append(
+                    OperatorCost("order-by", _sort_gates(n, self.bits), 2)
+                )
+            elif isinstance(node, (ProjectNode, LimitNode)):
+                child = node.child
+                sizes[id(node)] = sizes[id(child)]
+        return estimate
+
+
+def _predicate_leaves(expr) -> int:
+    if isinstance(expr, Logical):
+        return sum(_predicate_leaves(t) for t in expr.terms)
+    if isinstance(expr, Not):
+        return _predicate_leaves(expr.term)
+    if isinstance(expr, Between):
+        return 2
+    if isinstance(expr, InList):
+        return len(expr.values)
+    if isinstance(expr, BinOp) and expr.op in (
+        BinOpKind.EQ, BinOpKind.NE, BinOpKind.LT,
+        BinOpKind.LE, BinOpKind.GT, BinOpKind.GE,
+    ):
+        return 1
+    return 1

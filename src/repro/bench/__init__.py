@@ -1,0 +1,19 @@
+"""Benchmark harness: workload construction, measurement helpers, and
+paper-comparison reporting for every table and figure in the paper's
+evaluation (see DESIGN.md's per-experiment index)."""
+
+from repro.bench.harness import (
+    BenchConfig,
+    build_tpch_system,
+    measure_query_pipeline,
+    real_prove_query,
+)
+from repro.bench.reporting import Report
+
+__all__ = [
+    "BenchConfig",
+    "build_tpch_system",
+    "measure_query_pipeline",
+    "real_prove_query",
+    "Report",
+]

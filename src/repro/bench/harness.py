@@ -1,0 +1,148 @@
+"""Shared benchmark machinery.
+
+The benchmarks run real cryptography at reduced scale.  This module
+centralizes the reduced-scale configuration (so every bench agrees),
+builds TPC-H prover/verifier pairs, and measures the pieces the paper's
+tables need: witness generation, circuit statistics, full proofs, and
+verification.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.algebra.field import SCALAR_FIELD
+from repro.baselines.cost_models import PaperCalibration, column_work
+from repro.commit.params import PublicParams, setup
+from repro.db.database import Database
+from repro.plonkish.assignment import Assignment
+from repro.plonkish.mock_prover import MockProver
+from repro.sql.compiler import CompiledQuery, QueryCompiler
+from repro.sql.executor import Executor
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+from repro.system.prover_node import ProverNode
+from repro.system.verifier_node import VerifierNode
+from repro.tpch.datagen import generate
+from repro.tpch.queries import QUERIES
+
+
+@dataclass
+class BenchConfig:
+    """Reduced-scale geometry shared by all benchmarks.
+
+    ``limb_bits=4 / value_bits=32 / key_bits=40`` shrink the paper's
+    u8/64-bit design so the 16-entry range table and the decompositions
+    fit circuits a pure-Python prover can drive end to end.  The
+    *structure* (constraints per row, columns per operator) is what the
+    calibration extrapolates from, and it is bit-width-faithful when
+    scaled back up (see cost_models).
+    """
+
+    lineitem_rows: int = 64
+    k: int = 8
+    limb_bits: int = 4
+    value_bits: int = 32
+    key_bits: int = 40
+    seed: int = 19920873
+
+
+_DB_CACHE: dict[tuple[int, int], Database] = {}
+
+
+def tpch_db(config: BenchConfig) -> Database:
+    key = (config.lineitem_rows, config.seed)
+    if key not in _DB_CACHE:
+        _DB_CACHE[key] = generate(config.lineitem_rows, config.seed)
+    return _DB_CACHE[key]
+
+
+def build_tpch_system(
+    config: BenchConfig, params: PublicParams | None = None
+) -> tuple[ProverNode, VerifierNode]:
+    db = tpch_db(config)
+    if params is None:
+        params = setup(config.k)
+    prover = ProverNode(
+        db,
+        params,
+        config.k,
+        limb_bits=config.limb_bits,
+        value_bits=config.value_bits,
+        key_bits=config.key_bits,
+    )
+    commitment = prover.publish_commitment()
+    verifier = VerifierNode(params, prover.public_metadata(), commitment)
+    return prover, verifier
+
+
+@dataclass
+class PipelineMeasurement:
+    """Cheap (non-crypto) measurements of one query's circuit."""
+
+    query: str
+    witness_seconds: float
+    mock_seconds: float
+    result_rows: int
+    advice_columns: int
+    lookups: int
+    shuffles: int
+    gate_constraints: int
+    work: float = 0.0
+
+
+def measure_query_pipeline(
+    config: BenchConfig, query_name: str, check: bool = True
+) -> PipelineMeasurement:
+    """Compile + witness (+ MockProver check) one TPC-H query; returns
+    the circuit statistics the calibration consumes."""
+    db = tpch_db(config)
+    sql = QUERIES[query_name]
+    plan = Planner(db).plan(parse(sql))
+    compiled = QueryCompiler(
+        db, config.k, config.limb_bits, config.value_bits, config.key_bits
+    ).compile(plan)
+    t0 = time.perf_counter()
+    asg = Assignment(compiled.cs, SCALAR_FIELD, config.k)
+    result = compiled.assign_witness(asg, db)
+    witness_seconds = time.perf_counter() - t0
+    mock_seconds = 0.0
+    if check:
+        t1 = time.perf_counter()
+        MockProver(compiled.cs, asg, SCALAR_FIELD).assert_satisfied()
+        mock_seconds = time.perf_counter() - t1
+    return PipelineMeasurement(
+        query=query_name,
+        witness_seconds=witness_seconds,
+        mock_seconds=mock_seconds,
+        result_rows=len(result),
+        advice_columns=len(compiled.cs.advice_columns),
+        lookups=len(compiled.cs.lookups),
+        shuffles=len(compiled.cs.shuffles),
+        gate_constraints=compiled.cs.num_constraints(),
+        work=column_work(compiled.cs),
+    )
+
+
+def real_prove_query(
+    config: BenchConfig,
+    query_name: str,
+    prover: ProverNode,
+    verifier: VerifierNode,
+):
+    """Full cryptographic prove + verify of one TPC-H query at reduced
+    scale; returns (QueryResponse, VerificationReport)."""
+    response = prover.answer(QUERIES[query_name])
+    report = verifier.verify(response)
+    if not report.accepted:
+        raise AssertionError(
+            f"benchmark proof for {query_name} rejected: {report.reason}"
+        )
+    return response, report
+
+
+def calibration_from_q1(config: BenchConfig) -> PaperCalibration:
+    """Anchor the paper-scale model on Q1's measured circuit work."""
+    q1 = measure_query_pipeline(config, "Q1", check=False)
+    return PaperCalibration.from_q1(q1.work)

@@ -1,0 +1,238 @@
+"""The Inner Product Argument polynomial commitment (Halo / BCMS style).
+
+Given a Pedersen commitment ``C = <a, G> + r*W`` to the coefficients of
+a polynomial ``p`` and a public evaluation point ``x``, the prover
+convinces the verifier that ``p(x) = v`` with a proof of ``2 log n``
+group elements plus two scalars.  This is the scheme the paper selects
+(section 3.2) for its linear prover, logarithmic proofs, and
+compatibility with PLONKish circuits.
+
+Protocol sketch (non-interactive via the transcript):
+
+1. Fold the claimed value into the commitment: the statement becomes
+   ``C' = <a, G> + r*W + <a, b> * U'`` where ``b = (1, x, .., x^{n-1})``
+   and ``U' = xi * U`` for a transcript challenge ``xi``.
+2. ``log n`` halving rounds.  Round j publishes ``L_j, R_j`` (cross
+   terms with fresh blinding), squeezes ``u_j``, and folds
+   ``a, b, G`` to half length.
+3. Finally the prover reveals the folded scalar ``a_0`` and the
+   accumulated blinding; the verifier recomputes the folded base
+   ``G_0 = <s, G>`` and checks one group equation.
+
+Zero-knowledge of the *circuit* witness does not rest on hiding ``a``
+here: as in Halo2, advice polynomials carry random blinding rows, so
+the revealed folded scalar is statistically independent of the witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algebra.field import Field
+from repro.commit.params import PublicParams
+from repro.ecc.curve import Point
+from repro.ecc.msm import msm
+from repro.transcript import Transcript
+
+
+@dataclass
+class IpaProof:
+    """A single-point opening proof.
+
+    ``rounds`` holds the (L, R) pair of every halving round; ``a`` is
+    the fully folded coefficient and ``blind`` the accumulated blinding
+    factor revealed for the final check.
+    """
+
+    rounds: list[tuple[Point, Point]]
+    a: int
+    blind: int
+
+    def size_bytes(self) -> int:
+        """Serialized size (used for the paper's proof-size metrics)."""
+        if not self.rounds:
+            return 2 * 32
+        point_bytes = len(self.rounds[0][0].to_bytes())
+        return 2 * len(self.rounds) * point_bytes + 2 * 32
+
+    def to_bytes(self) -> bytes:
+        out = [len(self.rounds).to_bytes(4, "little")]
+        for left, right in self.rounds:
+            out.append(left.to_bytes())
+            out.append(right.to_bytes())
+        out.append(self.a.to_bytes(32, "little"))
+        out.append(self.blind.to_bytes(32, "little"))
+        return b"".join(out)
+
+
+def commit_polynomial(
+    params: PublicParams, coeffs: Sequence[int], blind: int
+) -> Point:
+    """Commit to polynomial coefficients (little-endian)."""
+    padded = list(coeffs) + [0] * (params.n - len(coeffs))
+    if len(padded) > params.n:
+        raise ValueError("polynomial exceeds parameter capacity")
+    return msm(list(params.g) + [params.w], padded + [blind])
+
+
+def _powers(x: int, n: int, p: int) -> list[int]:
+    out = [1] * n
+    for i in range(1, n):
+        out[i] = out[i - 1] * x % p
+    return out
+
+
+def open_polynomial(
+    params: PublicParams,
+    transcript: Transcript,
+    coeffs: Sequence[int],
+    blind: int,
+    x: int,
+    field: Field,
+) -> IpaProof:
+    """Produce an opening proof for ``p(x)`` against the commitment made
+    with ``blind``.
+
+    The caller must already have absorbed the commitment, the point and
+    the claimed evaluation into ``transcript`` (the verifier mirrors
+    this), so the challenges bind the full statement.
+    """
+    p = field.p
+    n = params.n
+    a = list(c % p for c in coeffs) + [0] * (n - len(coeffs))
+    b = _powers(x % p, n, p)
+    g: list[Point] = list(params.g)
+
+    xi = transcript.challenge_scalar(b"ipa-xi")
+    u_prime = params.u * xi
+
+    r = blind % p
+    rounds: list[tuple[Point, Point]] = []
+    while n > 1:
+        half = n // 2
+        a_lo, a_hi = a[:half], a[half:]
+        b_lo, b_hi = b[:half], b[half:]
+        g_lo, g_hi = g[:half], g[half:]
+
+        l_blind = field.rand()
+        r_blind = field.rand()
+        inner_lo_hi = sum(ai * bi for ai, bi in zip(a_lo, b_hi)) % p
+        inner_hi_lo = sum(ai * bi for ai, bi in zip(a_hi, b_lo)) % p
+        left = msm(
+            g_hi + [u_prime, params.w], a_lo + [inner_lo_hi, l_blind]
+        )
+        right = msm(
+            g_lo + [u_prime, params.w], a_hi + [inner_hi_lo, r_blind]
+        )
+        transcript.absorb_point(b"ipa-L", left)
+        transcript.absorb_point(b"ipa-R", right)
+        u = transcript.challenge_scalar(b"ipa-u")
+        u_inv = field.inv(u)
+
+        a = [(lo * u + hi * u_inv) % p for lo, hi in zip(a_lo, a_hi)]
+        b = [(lo * u_inv + hi * u) % p for lo, hi in zip(b_lo, b_hi)]
+        g = [
+            msm([glo, ghi], [u_inv, u])
+            for glo, ghi in zip(g_lo, g_hi)
+        ]
+        u_sq = u * u % p
+        u_inv_sq = u_inv * u_inv % p
+        r = (r + l_blind * u_sq + r_blind * u_inv_sq) % p
+        rounds.append((left, right))
+        n = half
+
+    return IpaProof(rounds=rounds, a=a[0], blind=r)
+
+
+def reduce_opening(
+    params: PublicParams,
+    transcript: Transcript,
+    commitment: Point,
+    x: int,
+    value: int,
+    proof: IpaProof,
+    field: Field,
+) -> tuple[list[int], int, Point] | None:
+    """Run the cheap (logarithmic) part of opening verification.
+
+    Returns ``(s, a, P)`` such that the opening is valid iff::
+
+        msm(params.g, [a * s_i]) + P == identity
+
+    i.e. everything *except* the linear-time base-folding MSM.  That
+    final check is performed immediately by :func:`verify_opening`, or
+    deferred and amortized across many proofs by the recursion
+    accumulator (:class:`repro.proving.recursion.Accumulator`).
+
+    Returns ``None`` when the proof is structurally invalid.
+    """
+    p = field.p
+    n = params.n
+    if len(proof.rounds) != params.k:
+        return None
+
+    xi = transcript.challenge_scalar(b"ipa-xi")
+    u_prime = params.u * xi
+
+    # Statement commitment with the claimed value folded in.
+    c = commitment + u_prime * (value % p)
+
+    challenges: list[int] = []
+    for left, right in proof.rounds:
+        transcript.absorb_point(b"ipa-L", left)
+        transcript.absorb_point(b"ipa-R", right)
+        challenges.append(transcript.challenge_scalar(b"ipa-u"))
+
+    inv_challenges = field.batch_inv(challenges)
+    for (left, right), u, u_inv in zip(proof.rounds, challenges, inv_challenges):
+        c = c + left * (u * u % p) + right * (u_inv * u_inv % p)
+
+    # s[i] = prod over bits of i of (u_j if bit set else u_j^{-1}),
+    # with round 0 folding the top half (most significant bit).
+    s = [1] * n
+    k = params.k
+    for j, (u, u_inv) in enumerate(zip(challenges, inv_challenges)):
+        bit = k - 1 - j
+        stride = 1 << bit
+        for i in range(n):
+            s[i] = s[i] * (u if i & stride else u_inv) % p
+
+    b_final = 0
+    x_pow = 1
+    x = x % p
+    for si in s:
+        b_final = (b_final + si * x_pow) % p
+        x_pow = x_pow * x % p
+
+    # P collects everything that is not msm(G, a*s).
+    residual = msm(
+        [u_prime, params.w],
+        [proof.a * b_final % p, proof.blind],
+    ) - c
+    return s, proof.a, residual
+
+
+def verify_opening(
+    params: PublicParams,
+    transcript: Transcript,
+    commitment: Point,
+    x: int,
+    value: int,
+    proof: IpaProof,
+    field: Field,
+) -> bool:
+    """Verify an opening proof.
+
+    The verifier's work is one ``n``-sized MSM (to fold the bases) plus
+    ``O(log n)`` group operations -- the linear MSM is what Halo-style
+    recursion amortizes across proofs (see
+    :mod:`repro.proving.recursion`).
+    """
+    reduced = reduce_opening(params, transcript, commitment, x, value, proof, field)
+    if reduced is None:
+        return False
+    s, a, residual = reduced
+    p = field.p
+    folded = msm(list(params.g), [a * si % p for si in s])
+    return (folded + residual).is_identity()

@@ -1,0 +1,71 @@
+"""Public parameters for the IPA commitment scheme.
+
+Table 2 of the paper measures exactly this step: deriving ``2^k``
+independent group generators (plus two auxiliary bases) whose discrete
+logs nobody knows.  Generation uses hash-to-curve on public strings --
+"publicly verifiable randomness", no trusted setup -- and is a one-time
+cost, reusable for every circuit of at most ``2^k`` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ecc.curve import Curve, PALLAS, Point
+
+_DOMAIN = b"poneglyphdb-params-v1"
+
+
+@dataclass
+class PublicParams:
+    """IPA commitment bases over a curve.
+
+    Attributes
+    ----------
+    k:
+        log2 of the maximum number of circuit rows supported.
+    g:
+        ``2^k`` commitment bases, one per coefficient.
+    w:
+        The blinding base (commitments are Pedersen-hiding).
+    u:
+        The base binding claimed inner products inside the IPA rounds.
+    """
+
+    curve: Curve
+    k: int
+    g: list[Point] = field(repr=False)
+    w: Point = field(repr=False)
+    u: Point = field(repr=False)
+
+    @property
+    def n(self) -> int:
+        return 1 << self.k
+
+    def truncated(self, k: int) -> "PublicParams":
+        """A view supporting smaller circuits (prefix of the bases).
+
+        The paper notes params are reusable for any circuit whose row
+        count does not exceed the maximum; this is that reuse.
+        """
+        if k > self.k:
+            raise ValueError(f"cannot grow params from 2^{self.k} to 2^{k}")
+        return PublicParams(self.curve, k, self.g[: 1 << k], self.w, self.u)
+
+
+def setup(k: int, curve: Curve = PALLAS, label: bytes = b"") -> PublicParams:
+    """Generate public parameters supporting circuits of ``2^k`` rows.
+
+    Deterministic in ``(k, curve, label)`` so provers and verifiers can
+    regenerate identical parameters independently.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n = 1 << k
+    g = [
+        curve.hash_to_curve(_DOMAIN, label + b"|g|" + i.to_bytes(8, "little"))
+        for i in range(n)
+    ]
+    w = curve.hash_to_curve(_DOMAIN, label + b"|w")
+    u = curve.hash_to_curve(_DOMAIN, label + b"|u")
+    return PublicParams(curve=curve, k=k, g=g, w=w, u=u)

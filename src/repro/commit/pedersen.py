@@ -1,0 +1,29 @@
+"""Pedersen vector commitments.
+
+``commit(v, r) = <v, G> + r * W`` is perfectly hiding (for uniform r)
+and computationally binding under the discrete-log assumption.  The IPA
+opening argument (:mod:`repro.commit.ipa`) proves statements about the
+committed vector without revealing it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.commit.params import PublicParams
+from repro.ecc.curve import Point
+from repro.ecc.msm import msm
+
+
+def pedersen_commit(
+    params: PublicParams, values: Sequence[int], blind: int
+) -> Point:
+    """Commit to ``values`` (length at most ``params.n``) with blinding
+    factor ``blind``."""
+    if len(values) > params.n:
+        raise ValueError(
+            f"vector of length {len(values)} exceeds params capacity {params.n}"
+        )
+    points: list[Point] = list(params.g[: len(values)]) + [params.w]
+    scalars = list(values) + [blind]
+    return msm(points, scalars)

@@ -1,0 +1,22 @@
+"""Database substrate: typed column-store tables, value encoding into
+the circuit field, and the cryptographic database commitment of the
+paper's workflow phase 2."""
+
+from repro.db.types import SqlType, ColumnType
+from repro.db.schema import ColumnDef, TableSchema
+from repro.db.table import Table
+from repro.db.database import Database
+from repro.db.encoding import Encoder
+from repro.db.commitment import DatabaseCommitment, commit_database
+
+__all__ = [
+    "SqlType",
+    "ColumnType",
+    "ColumnDef",
+    "TableSchema",
+    "Table",
+    "Database",
+    "Encoder",
+    "DatabaseCommitment",
+    "commit_database",
+]

@@ -1,0 +1,188 @@
+"""The database commitment (paper workflow phase 2, Table 3).
+
+Every table column is committed with the IPA/Pedersen scheme over the
+same generator basis the query circuits use; a Merkle tree over the
+column commitments yields a single digest the prover publishes
+irrevocably (e.g. on a blockchain) and an auditor can validate against
+the raw database.
+
+Binding queries to the commitment: a query circuit loads a table column
+into an advice column and commits it with fresh blinding.  Because both
+commitments use the same basis ``G``, they differ only in the blinding
+component, and the prover reveals ``delta = advice_blind - column_blind``
+so the verifier checks ``C_advice == C_column + delta * W`` -- a
+perfectly hiding, computationally binding link from the proof back to
+the committed database (see :mod:`repro.system.prover_node`).
+
+To keep that link exact, the commitment bakes in the same ``ZK_ROWS``
+random tail rows the proving system reserves for blinding; the prover
+replays them in every scan.  (Re-randomizing tails per proof would need
+a commitment-shift argument; see DESIGN.md limitations.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.algebra.field import Field, SCALAR_FIELD
+from repro.commit.ipa import commit_polynomial
+from repro.commit.params import PublicParams
+from repro.db.database import Database
+from repro.ecc.curve import Point
+from repro.plonkish.assignment import ZK_ROWS
+
+
+@dataclass
+class ColumnSecret:
+    """Prover-private randomness behind one column commitment."""
+
+    blind: int
+    tail: list[int] = field(repr=False)
+
+
+@dataclass
+class DatabaseCommitment:
+    """The public commitment: per-column points plus the Merkle root."""
+
+    k: int
+    column_commitments: dict[tuple[str, str], Point]
+    root: bytes
+
+    def commitment_for(self, table: str, column: str) -> Point:
+        return self.column_commitments[(table, column)]
+
+
+@dataclass
+class CommitmentSecrets:
+    """Everything the prover must retain to link proofs to the
+    commitment (never shared with verifiers)."""
+
+    k: int
+    columns: dict[tuple[str, str], ColumnSecret]
+
+
+def _merkle_root(leaves: list[bytes]) -> bytes:
+    """A plain binary Merkle tree (duplicate last node on odd levels)."""
+    if not leaves:
+        return hashlib.blake2b(b"empty", digest_size=32).digest()
+    level = [
+        hashlib.blake2b(b"leaf:" + leaf, digest_size=32).digest()
+        for leaf in leaves
+    ]
+    while len(level) > 1:
+        if len(level) % 2:
+            level.append(level[-1])
+        level = [
+            hashlib.blake2b(
+                b"node:" + level[i] + level[i + 1], digest_size=32
+            ).digest()
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+def padded_column(
+    values: list[int], k: int, tail: list[int]
+) -> list[int]:
+    """The exact vector that gets committed: data, zero padding up to
+    the usable region, then the ZK tail rows."""
+    n = 1 << k
+    usable = n - ZK_ROWS
+    if len(values) > usable:
+        raise ValueError(
+            f"column of {len(values)} rows exceeds usable rows {usable} "
+            f"at k={k}"
+        )
+    if len(tail) != ZK_ROWS:
+        raise ValueError(f"tail must have {ZK_ROWS} entries")
+    return list(values) + [0] * (usable - len(values)) + list(tail)
+
+
+def commit_database(
+    db: Database,
+    params: PublicParams,
+    k: int,
+    field_: Field = SCALAR_FIELD,
+) -> tuple[DatabaseCommitment, CommitmentSecrets]:
+    """Commit every column of every table.
+
+    ``k`` must be the circuit size queries will run at (the link checks
+    require a shared basis) and large enough for the biggest table.
+    """
+    if (1 << k) > params.n:
+        raise ValueError("k exceeds the public parameters' capacity")
+    from repro.algebra.domain import EvaluationDomain
+
+    domain = EvaluationDomain(field_, k)
+    fit = params.truncated(k) if params.k > k else params
+    commitments: dict[tuple[str, str], Point] = {}
+    secrets: dict[tuple[str, str], ColumnSecret] = {}
+    for table_name in sorted(db.tables):
+        table = db.tables[table_name]
+        for column_name in table.schema.column_names():
+            tail = [field_.rand() for _ in range(ZK_ROWS)]
+            blind = field_.rand()
+            vector = padded_column(table.column(column_name), k, tail)
+            # Commit in coefficient form -- the same form the proving
+            # system commits advice columns in, so a scan links to this
+            # commitment through the blinding delta alone.
+            commitments[(table_name, column_name)] = commit_polynomial(
+                fit, domain.ifft(vector), blind
+            )
+            secrets[(table_name, column_name)] = ColumnSecret(blind, tail)
+    leaves = [
+        key[0].encode() + b"." + key[1].encode() + b":" + pt.to_bytes()
+        for key, pt in sorted(commitments.items())
+    ]
+    return (
+        DatabaseCommitment(k=k, column_commitments=commitments, root=_merkle_root(leaves)),
+        CommitmentSecrets(k=k, columns=secrets),
+    )
+
+
+def audit_commitment(
+    db: Database,
+    commitment: DatabaseCommitment,
+    secrets: CommitmentSecrets,
+    params: PublicParams,
+) -> bool:
+    """The auditor's check (trust model, paper section 3.3): given raw
+    data and the prover's randomness, recompute and compare every
+    column commitment and the root."""
+    recomputed, _ = _recommit_with(db, params, commitment.k, secrets)
+    if set(recomputed.column_commitments) != set(commitment.column_commitments):
+        return False
+    for key, pt in recomputed.column_commitments.items():
+        if commitment.column_commitments[key] != pt:
+            return False
+    return recomputed.root == commitment.root
+
+
+def _recommit_with(
+    db: Database,
+    params: PublicParams,
+    k: int,
+    secrets: CommitmentSecrets,
+) -> tuple[DatabaseCommitment, CommitmentSecrets]:
+    from repro.algebra.domain import EvaluationDomain
+
+    domain = EvaluationDomain(SCALAR_FIELD, k)
+    fit = params.truncated(k) if params.k > k else params
+    commitments: dict[tuple[str, str], Point] = {}
+    for table_name in sorted(db.tables):
+        table = db.tables[table_name]
+        for column_name in table.schema.column_names():
+            secret = secrets.columns[(table_name, column_name)]
+            vector = padded_column(table.column(column_name), k, secret.tail)
+            commitments[(table_name, column_name)] = commit_polynomial(
+                fit, domain.ifft(vector), secret.blind
+            )
+    leaves = [
+        key[0].encode() + b"." + key[1].encode() + b":" + pt.to_bytes()
+        for key, pt in sorted(commitments.items())
+    ]
+    return (
+        DatabaseCommitment(k=k, column_commitments=commitments, root=_merkle_root(leaves)),
+        secrets,
+    )

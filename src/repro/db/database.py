@@ -1,0 +1,51 @@
+"""The database: a catalog of encoded tables plus the shared encoder."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.db.encoding import Encoder
+from repro.db.schema import TableSchema
+from repro.db.table import Table
+
+
+class Database:
+    """Named tables plus the encoder holding string dictionaries.
+
+    The encoder is shared deliberately: query literals must encode with
+    the same dictionaries the data used.
+    """
+
+    def __init__(self) -> None:
+        self.tables: dict[str, Table] = {}
+        self.encoder = Encoder()
+
+    def create_table(
+        self, schema: TableSchema, rows: Iterable[Sequence[Any]]
+    ) -> Table:
+        if schema.name in self.tables:
+            raise ValueError(f"table {schema.name!r} already exists")
+        table = Table.from_rows(schema, rows, self.encoder)
+        self.tables[schema.name] = table
+        return table
+
+    def add_table(self, table: Table) -> None:
+        if table.schema.name in self.tables:
+            raise ValueError(f"table {table.schema.name!r} already exists")
+        self.tables[table.schema.name] = table
+
+    def table(self, name: str) -> Table:
+        if name not in self.tables:
+            raise KeyError(f"no table {name!r}")
+        return self.tables[name]
+
+    def schema(self, name: str) -> TableSchema:
+        return self.table(name).schema
+
+    @property
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self.tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(f"{n}={len(t)}" for n, t in self.tables.items())
+        return f"Database({parts})"

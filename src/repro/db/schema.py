@@ -1,0 +1,54 @@
+"""Table schemas and the catalog metadata the planner needs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.types import ColumnType
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type: ColumnType
+
+
+@dataclass
+class TableSchema:
+    """Schema of one table.
+
+    ``primary_key`` names the single-attribute primary key (compound
+    keys are modelled by a synthetic key column, as TPC-H's ``lineitem``
+    does with ``l_rowid``).  ``foreign_keys`` maps a local column to
+    ``(table, column)`` it references -- the planner uses this to pick
+    the PK-FK join gate.
+    """
+
+    name: str
+    columns: list[ColumnDef]
+    primary_key: str | None = None
+    foreign_keys: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in {self.name}")
+        if self.primary_key is not None and self.primary_key not in names:
+            raise ValueError(
+                f"primary key {self.primary_key} not a column of {self.name}"
+            )
+        for local in self.foreign_keys:
+            if local not in names:
+                raise ValueError(f"foreign key {local} not a column of {self.name}")
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> ColumnDef:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)

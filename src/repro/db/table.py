@@ -1,0 +1,74 @@
+"""Column-store tables holding already-encoded field integers."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.db.encoding import Encoder
+from repro.db.schema import TableSchema
+from repro.db.types import SqlType
+
+
+class Table:
+    """An encoded, columnar table.
+
+    All cell values are nonnegative integers (see
+    :mod:`repro.db.encoding`); raw-value ingestion goes through
+    :meth:`from_rows`, which also builds string dictionaries.
+    """
+
+    def __init__(self, schema: TableSchema, columns: dict[str, list[int]]):
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError("ragged columns")
+        if set(columns) != set(schema.column_names()):
+            raise ValueError("columns do not match schema")
+        self.schema = schema
+        self.columns = columns
+        self.num_rows = lengths.pop() if lengths else 0
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: TableSchema,
+        rows: Iterable[Sequence[Any]],
+        encoder: Encoder,
+    ) -> "Table":
+        """Encode raw python rows (build dictionaries for string
+        columns first)."""
+        materialized = [list(r) for r in rows]
+        names = schema.column_names()
+        for row in materialized:
+            if len(row) != len(names):
+                raise ValueError(
+                    f"row arity {len(row)} != schema arity {len(names)}"
+                )
+        for idx, col in enumerate(schema.columns):
+            if col.type.base is SqlType.STRING:
+                encoder.build_dictionary(
+                    f"{schema.name}.{col.name}",
+                    [row[idx] for row in materialized],
+                )
+        columns: dict[str, list[int]] = {name: [] for name in names}
+        for row in materialized:
+            for col, value in zip(schema.columns, row):
+                columns[col.name].append(
+                    encoder.encode(f"{schema.name}.{col.name}", col.type, value)
+                )
+        return cls(schema, columns)
+
+    def column(self, name: str) -> list[int]:
+        return self.columns[name]
+
+    def row(self, index: int) -> tuple[int, ...]:
+        return tuple(self.columns[n][index] for n in self.schema.column_names())
+
+    def iter_rows(self) -> Iterable[tuple[int, ...]]:
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.schema.name}, rows={self.num_rows})"

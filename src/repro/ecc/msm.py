@@ -1,0 +1,87 @@
+"""Pippenger multi-scalar multiplication.
+
+The IPA commitment cost is dominated by MSMs ``sum_i s_i * G_i``.
+Pippenger's bucket method computes an n-point MSM in roughly
+``n * 255 / c + 2^c`` group additions for window size ``c``, versus
+``n * 255`` for naive per-point scalar multiplication.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ecc.curve import Curve, Point
+
+
+def _window_size(n: int) -> int:
+    """Heuristic window size ~ log2(n) (clamped), the standard choice."""
+    if n < 4:
+        return 1
+    if n < 32:
+        return 3
+    c = n.bit_length() - 1
+    return min(c, 16)
+
+
+def msm(points: Sequence[Point], scalars: Sequence[int]) -> Point:
+    """Compute ``sum_i scalars[i] * points[i]``.
+
+    All points must share a curve; an empty input raises ValueError since
+    the curve could not be inferred (use ``curve.identity()`` directly).
+    """
+    if len(points) != len(scalars):
+        raise ValueError("points and scalars must have equal length")
+    if not points:
+        raise ValueError("msm of zero points; use curve.identity()")
+    curve: Curve = points[0].curve
+    order = curve.scalar_field.p
+    pairs = [
+        (pt, s % order)
+        for pt, s in zip(points, scalars)
+        if s % order != 0 and not pt.is_identity()
+    ]
+    if not pairs:
+        return curve.identity()
+    if len(pairs) == 1:
+        pt, s = pairs[0]
+        return pt * s
+
+    c = _window_size(len(pairs))
+    num_bits = order.bit_length()
+    num_windows = (num_bits + c - 1) // c
+    mask = (1 << c) - 1
+
+    window_sums: list[Point] = []
+    for w in range(num_windows):
+        shift = w * c
+        buckets: list[Point | None] = [None] * mask
+        for pt, s in pairs:
+            idx = (s >> shift) & mask
+            if idx:
+                existing = buckets[idx - 1]
+                buckets[idx - 1] = pt if existing is None else existing + pt
+        # Running-sum trick: sum_k k * bucket[k] via two passes.
+        running = curve.identity()
+        total = curve.identity()
+        for b in reversed(buckets):
+            if b is not None:
+                running = running + b
+            total = total + running
+        window_sums.append(total)
+
+    acc = window_sums[-1]
+    for total in reversed(window_sums[:-1]):
+        for _ in range(c):
+            acc = acc.double()
+        acc = acc + total
+    return acc
+
+
+def msm_naive(points: Sequence[Point], scalars: Sequence[int]) -> Point:
+    """Reference implementation used in tests to validate :func:`msm`."""
+    if not points:
+        raise ValueError("msm of zero points; use curve.identity()")
+    acc = points[0].curve.identity()
+    for pt, s in zip(points, scalars):
+        acc = acc + pt * s
+    return acc

@@ -1,0 +1,83 @@
+"""Custom gates for SQL query operations (paper section 4).
+
+Each gate is a *chip*: it allocates columns and constraints on a shared
+:class:`~repro.plonkish.ConstraintSystem` at configure time, and fills
+witness values into an :class:`~repro.plonkish.Assignment` at synthesis
+time.  All chips follow the paper's design rules:
+
+- **low-degree constraints** (every chip stays within degree ~6 so the
+  extended evaluation domain stays small),
+- **lookup tables** for range checks instead of naive polynomial
+  products (section 4.1),
+- **oblivious layouts** -- fixed row patterns regardless of data values,
+  with dummy tuples carrying ``valid`` flags (section 3.4).
+
+Map from paper sections to modules:
+
+====================  =======================================
+paper                 module
+====================  =======================================
+4.1 Range check A/B   :mod:`repro.gates.range_check` (lookup membership)
+4.1 Range check C     :mod:`repro.gates.range_check` (limb decomposition)
+4.1 Range check D     :mod:`repro.gates.compare` (comparison flags)
+4.2 Sort              :mod:`repro.gates.sort`
+4.3 Group-by          :mod:`repro.gates.groupby`
+4.4 Join              :mod:`repro.gates.join`
+4.5 Aggregation       :mod:`repro.gates.aggregate`
+4.5 Projection        :mod:`repro.gates.projection`
+4.5 Set operations    :mod:`repro.gates.setops`
+4.5 String matching   :mod:`repro.gates.strings`
+====================  =======================================
+"""
+
+from repro.gates.tables import RangeTable
+from repro.gates.compare import (
+    AssertLeChip,
+    AssertLtChip,
+    EqFlagChip,
+    IsZeroChip,
+    LtFlagChip,
+)
+from repro.gates.range_check import (
+    NaiveRangeCheckChip,
+    RangeDecomposeChip,
+    assert_member,
+)
+from repro.gates.sort import SortChip
+from repro.gates.groupby import GroupByChip
+from repro.gates.aggregate import (
+    AvgChip,
+    CompactChip,
+    DivModChip,
+    MinMaxChip,
+    RunningAggChip,
+    SqrtChip,
+)
+from repro.gates.join import PkFkJoinChip
+from repro.gates.projection import ProjectionChip
+from repro.gates.setops import SetOpsChip
+from repro.gates.strings import StringMatchChip
+
+__all__ = [
+    "RangeTable",
+    "IsZeroChip",
+    "EqFlagChip",
+    "LtFlagChip",
+    "AssertLeChip",
+    "AssertLtChip",
+    "assert_member",
+    "RangeDecomposeChip",
+    "NaiveRangeCheckChip",
+    "SortChip",
+    "GroupByChip",
+    "RunningAggChip",
+    "CompactChip",
+    "DivModChip",
+    "AvgChip",
+    "MinMaxChip",
+    "SqrtChip",
+    "PkFkJoinChip",
+    "ProjectionChip",
+    "SetOpsChip",
+    "StringMatchChip",
+]

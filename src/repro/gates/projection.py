@@ -1,0 +1,57 @@
+"""Projection (paper section 4.5).
+
+"We use selectors to project the desired columns by setting them to 1
+for inclusion and 0 for exclusion.  Each selector controls a
+multiplication gate."  The selector bits are fixed columns (part of the
+public circuit), the projected outputs advice columns constrained to
+``sel * input``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.plonkish.assignment import Assignment
+from repro.plonkish.constraint_system import Column, ConstraintSystem
+from repro.plonkish.expression import Expression
+
+
+class ProjectionChip:
+    """Column projection with fixed 0/1 selectors per column."""
+
+    def __init__(
+        self,
+        cs: ConstraintSystem,
+        name: str,
+        q: Expression,
+        in_exprs: Sequence[Expression],
+        keep: Sequence[bool],
+    ):
+        if len(in_exprs) != len(keep):
+            raise ValueError("one keep flag per input column")
+        self.keep = list(keep)
+        self.sel: list[Column] = [
+            cs.fixed_column(f"{name}.sel{i}") for i in range(len(in_exprs))
+        ]
+        self.out: list[Column] = [
+            cs.advice_column(f"{name}.out{i}") for i in range(len(in_exprs))
+        ]
+        cs.create_gate(
+            name,
+            [
+                q * (out.cur() - sel.cur() * expr)
+                for out, sel, expr in zip(self.out, self.sel, in_exprs)
+            ],
+        )
+
+    def assign(
+        self, asg: Assignment, rows: Sequence[Sequence[int]], q_rows: int
+    ) -> None:
+        """Assign selector bits and projected values for ``q_rows``
+        active rows of input data ``rows``."""
+        for i in range(q_rows):
+            for j, sel in enumerate(self.sel):
+                asg.assign(sel, i, 1 if self.keep[j] else 0)
+        for i, row in enumerate(rows):
+            for j, (out, value) in enumerate(zip(self.out, row)):
+                asg.assign(out, i, value if self.keep[j] else 0)

@@ -1,0 +1,130 @@
+"""Set operations (paper section 4.5).
+
+"The set operations can be implemented using the methods described for
+the join gate":
+
+- **set equality** is one shuffle argument (multiset equality of full
+  row tuples) -- the paper's "sort both tables and compare tuples at
+  each index" collapses to a single grand product in PLONKish form,
+- **disjointness** reuses the join's sorted-merge-with-tags
+  (:class:`~repro.gates.join.DisjointChip`),
+- **intersection** is the join construction applied to full tuples,
+- **union (distinct)** is sort + adjacent-duplicate suppression
+  (:class:`DedupChip`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gates.compare import IsZeroChip
+from repro.gates.join import DisjointChip
+from repro.gates.sort import SortChip
+from repro.gates.tables import RangeTable
+from repro.plonkish.assignment import Assignment
+from repro.plonkish.constraint_system import Column, ConstraintSystem
+from repro.plonkish.expression import Constant, Expression
+
+
+class DedupChip:
+    """Given a *sorted* key column, expose a ``keep`` flag that is 1 on
+    the first row of each run of equal keys (SELECT DISTINCT / UNION)."""
+
+    def __init__(
+        self,
+        cs: ConstraintSystem,
+        name: str,
+        q_first: Expression,
+        q_rest: Expression,
+        key: Expression,
+        key_prev: Expression,
+    ):
+        self.keep: Column = cs.advice_column(f"{name}.keep")
+        self._eq = IsZeroChip(cs, f"{name}.eq", q_rest, key - key_prev)
+        cs.create_gate(
+            name,
+            [
+                q_first * (self.keep.cur() - Constant(1)),
+                q_rest
+                * (self.keep.cur() - (Constant(1) - self._eq.is_zero_expr)),
+            ],
+        )
+
+    def assign(self, asg: Assignment, keys: Sequence[int]) -> list[int]:
+        flags = []
+        for i, key in enumerate(keys):
+            if i == 0:
+                self._eq.assign_row(asg, 0, 1)
+                flag = 1
+            else:
+                same = self._eq.assign_row(asg, i, key - keys[i - 1])
+                flag = 1 - same
+            asg.assign(self.keep, i, flag)
+            flags.append(flag)
+        return flags
+
+
+class SetOpsChip:
+    """Facade bundling the set-operation constructions."""
+
+    def __init__(self, cs: ConstraintSystem, table: RangeTable, n_limbs: int = 8):
+        self.cs = cs
+        self.table = table
+        self.n_limbs = n_limbs
+        self._counter = 0
+
+    def _name(self, op: str) -> str:
+        self._counter += 1
+        return f"setops.{op}{self._counter}"
+
+    def assert_equal(
+        self,
+        a_exprs: Sequence[Expression],
+        b_exprs: Sequence[Expression],
+    ) -> None:
+        """Multiset equality of two relations (one shuffle argument).
+        For SQL SET semantics, deduplicate both sides first."""
+        self.cs.add_shuffle(
+            self._name("eq"), [list(a_exprs)], [list(b_exprs)]
+        )
+
+    def assert_disjoint(
+        self,
+        a_value: Expression,
+        a_flag: Expression,
+        b_value: Expression,
+        b_flag: Expression,
+    ) -> DisjointChip:
+        return DisjointChip(
+            self.cs,
+            self._name("disjoint"),
+            a_value,
+            a_flag,
+            b_value,
+            b_flag,
+            self.table,
+            self.n_limbs,
+        )
+
+    def sorted_with_dedup(
+        self,
+        in_exprs: Sequence[Expression],
+        key_index: int,
+        q_first: Expression,
+        q_rest: Expression,
+    ) -> tuple[SortChip, DedupChip]:
+        """Sort a relation and flag first occurrences -- the building
+        block for UNION and DISTINCT."""
+        sort = SortChip(
+            self.cs,
+            self._name("sort"),
+            in_exprs,
+            key_index,
+            self.table,
+            self.n_limbs,
+        )
+        key = sort.out[key_index]
+        dedup = DedupChip(
+            self.cs, self._name("dedup"), q_first, q_rest, key.cur(), key.prev()
+        )
+        return sort, dedup

@@ -1,0 +1,91 @@
+"""String matching (paper section 4.5).
+
+"We have developed capabilities for string matching and concatenation
+by validating the equality of sub-strings in two strings using lookup
+tables."
+
+Strings are dictionary-encoded at the database layer (each distinct
+string maps to a field code >= 1), so *equality* predicates are plain
+field equality.  For substring/pattern checks, strings are additionally
+exploded into a character table of ``(string_code, position, char)``
+rows; :class:`StringMatchChip` proves ``pattern`` occurs in a string at
+a prover-chosen offset with one lookup per pattern character.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.plonkish.assignment import Assignment
+from repro.plonkish.constraint_system import Column, ConstraintSystem
+from repro.plonkish.expression import Expression
+
+
+class CharTable:
+    """Fixed columns holding the exploded (code, position+1, char) rows
+    of a public string dictionary.  Padding rows read (0, 0, 0)."""
+
+    def __init__(self, cs: ConstraintSystem, name: str = "chars"):
+        self.code: Column = cs.fixed_column(f"{name}.code")
+        self.pos: Column = cs.fixed_column(f"{name}.pos")
+        self.char: Column = cs.fixed_column(f"{name}.char")
+
+    def assign(self, asg: Assignment, dictionary: dict[int, str]) -> None:
+        row = 0
+        for code in sorted(dictionary):
+            for pos, ch in enumerate(dictionary[code]):
+                asg.assign(self.code, row, code)
+                asg.assign(self.pos, row, pos + 1)  # 1-based: 0 is padding
+                asg.assign(self.char, row, ord(ch))
+                row += 1
+
+
+class StringMatchChip:
+    """Prove a fixed pattern occurs in the string referenced by a code
+    column, on selector-gated rows.
+
+    For each pattern character ``j`` an advice column holds
+    ``pos + j`` (constrained linearly), and a lookup asserts
+    ``(code, pos + j, pattern[j])`` exists in the character table.
+    """
+
+    def __init__(
+        self,
+        cs: ConstraintSystem,
+        name: str,
+        q: Expression,
+        code: Expression,
+        pattern: str,
+        chars: CharTable,
+    ):
+        if not pattern:
+            raise ValueError("empty pattern")
+        self.pattern = pattern
+        self.pos: Column = cs.advice_column(f"{name}.pos")
+        for j, ch in enumerate(pattern):
+            cs.add_lookup(
+                f"{name}.ch{j}",
+                [q * code, q * (self.pos.cur() + j), q * ord(ch)],
+                [chars.code.cur(), chars.pos.cur(), chars.char.cur()],
+            )
+
+    def assign_row(
+        self, asg: Assignment, row: int, code: int, text: str
+    ) -> int:
+        """Find the pattern in ``text`` and assign the offset witness;
+        returns the (1-based) match position."""
+        index = text.find(self.pattern)
+        if index < 0:
+            raise ValueError(
+                f"pattern {self.pattern!r} not found in string code {code}"
+            )
+        self.pos_value = index + 1
+        asg.assign(self.pos, row, index + 1)
+        return index + 1
+
+
+def encode_dictionary(values: Sequence[str]) -> dict[str, int]:
+    """Assign codes >= 1 to distinct strings, in sorted order so that
+    code comparisons realize ORDER BY on the dictionary-encoded
+    column."""
+    return {s: i + 1 for i, s in enumerate(sorted(set(values)))}

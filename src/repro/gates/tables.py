@@ -1,0 +1,37 @@
+"""Fixed lookup tables.
+
+The paper's Design C validates 8-bit integer segments against a
+fixed-size table of 256 entries, "reused multiple times for each u8
+cell check".  :class:`RangeTable` is that table, with the limb width as
+a parameter so the ablation benchmarks can compare 4-, 8- and 16-bit
+limbs (DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from repro.plonkish.assignment import Assignment
+from repro.plonkish.constraint_system import Column, ConstraintSystem
+
+
+class RangeTable:
+    """A fixed column holding ``0 .. 2^bits - 1``.
+
+    The circuit must have at least ``2^bits`` usable rows.  One table
+    serves every limb lookup in the circuit (the reuse that makes
+    Design C cheap).
+    """
+
+    def __init__(self, cs: ConstraintSystem, bits: int = 8, name: str = "u_table"):
+        if bits < 1 or bits > 20:
+            raise ValueError(f"unreasonable limb width {bits}")
+        self.bits = bits
+        self.size = 1 << bits
+        self.column: Column = cs.fixed_column(name)
+
+    def assign(self, assignment: Assignment) -> None:
+        if assignment.usable_rows < self.size:
+            raise ValueError(
+                f"range table of {self.size} entries needs at least "
+                f"{self.size} usable rows; circuit has {assignment.usable_rows}"
+            )
+        assignment.assign_column(self.column, list(range(self.size)))

@@ -1,0 +1,248 @@
+"""Circuit configuration: columns, gates, copy constraints, lookups.
+
+A :class:`ConstraintSystem` is the *shape* of a circuit -- which columns
+exist and which constraints relate them -- independent of any concrete
+witness.  The paper's custom gates (section 4) are built by composing
+columns and constraints on one of these; the concrete cell values live
+in an :class:`~repro.plonkish.assignment.Assignment`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.plonkish.expression import ColumnQuery, Expression
+
+
+class ColumnKind(enum.Enum):
+    """The three PLONKish column classes (paper section 2.2)."""
+
+    FIXED = "fixed"
+    ADVICE = "advice"
+    INSTANCE = "instance"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column handle.  ``index`` is unique within a kind."""
+
+    kind: ColumnKind
+    index: int
+    name: str
+
+    def query(self, rotation: int = 0) -> ColumnQuery:
+        """Reference this column in a gate expression at a row offset."""
+        return ColumnQuery(self, rotation)
+
+    def cur(self) -> ColumnQuery:
+        return ColumnQuery(self, 0)
+
+    def next(self) -> ColumnQuery:
+        return ColumnQuery(self, 1)
+
+    def prev(self) -> ColumnQuery:
+        return ColumnQuery(self, -1)
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}:{self.name}"
+
+
+@dataclass
+class Gate:
+    """A named family of polynomial constraints enforced on every row.
+
+    Gates are selector-gated by construction: each constraint expression
+    should include a fixed (selector) factor that zeroes it on rows where
+    the gate does not apply, which also keeps the blinding rows
+    unconstrained.
+    """
+
+    name: str
+    constraints: list[Expression]
+
+
+@dataclass
+class Lookup:
+    """A lookup argument: on every active row, the tuple of input
+    expressions must equal the tuple of table expressions evaluated at
+    *some* row.
+
+    This is the Plookup-style mechanism (paper section 4.1): multiple
+    expressions are compressed into one value with a verifier challenge
+    theta, and inclusion is proven with the permutation + adjacency
+    constraints of paper Equations (1) and (3).
+    """
+
+    name: str
+    inputs: list[Expression]
+    table: list[Expression]
+
+
+@dataclass
+class Shuffle:
+    """A multiset-equality (shuffle) argument, the mechanism behind the
+    paper's Equation (5): the union of the input tuple streams must
+    equal the union of the table tuple streams as multisets over the
+    active rows.
+
+    Each side is a list of *groups*; a group is a list of expressions
+    forming one tuple stream.  Multiple groups let a single argument
+    prove statements like "column S is a permutation of the values of
+    columns A and B together" (used by the join gate's deduplicated
+    merge, paper section 4.4).
+    """
+
+    name: str
+    input_groups: list[list[Expression]]
+    table_groups: list[list[Expression]]
+
+
+@dataclass
+class CopyConstraint:
+    """Cell equality: ``(left_col, left_row) == (right_col, right_row)``."""
+
+    left_col: Column
+    left_row: int
+    right_col: Column
+    right_row: int
+
+
+@dataclass
+class ConstraintSystem:
+    """The declarative description of a circuit's shape."""
+
+    fixed_columns: list[Column] = dataclass_field(default_factory=list)
+    advice_columns: list[Column] = dataclass_field(default_factory=list)
+    instance_columns: list[Column] = dataclass_field(default_factory=list)
+    gates: list[Gate] = dataclass_field(default_factory=list)
+    lookups: list[Lookup] = dataclass_field(default_factory=list)
+    shuffles: list[Shuffle] = dataclass_field(default_factory=list)
+    copies: list[CopyConstraint] = dataclass_field(default_factory=list)
+    equality_columns: list[Column] = dataclass_field(default_factory=list)
+
+    # -- column creation ------------------------------------------------------
+
+    def fixed_column(self, name: str) -> Column:
+        col = Column(ColumnKind.FIXED, len(self.fixed_columns), name)
+        self.fixed_columns.append(col)
+        return col
+
+    def advice_column(self, name: str) -> Column:
+        col = Column(ColumnKind.ADVICE, len(self.advice_columns), name)
+        self.advice_columns.append(col)
+        return col
+
+    def instance_column(self, name: str) -> Column:
+        col = Column(ColumnKind.INSTANCE, len(self.instance_columns), name)
+        self.instance_columns.append(col)
+        return col
+
+    def selector(self, name: str) -> Column:
+        """Selectors are modelled as plain fixed columns holding 0/1."""
+        return self.fixed_column(name)
+
+    # -- constraint creation ---------------------------------------------------
+
+    def create_gate(self, name: str, constraints: list[Expression]) -> None:
+        if not constraints:
+            raise ValueError(f"gate {name!r} has no constraints")
+        self.gates.append(Gate(name, constraints))
+
+    def add_lookup(
+        self, name: str, inputs: list[Expression], table: list[Expression]
+    ) -> None:
+        if len(inputs) != len(table):
+            raise ValueError(
+                f"lookup {name!r}: {len(inputs)} inputs vs {len(table)} table exprs"
+            )
+        self.lookups.append(Lookup(name, inputs, table))
+
+    def add_shuffle(
+        self,
+        name: str,
+        input_groups: list[list[Expression]],
+        table_groups: list[list[Expression]],
+    ) -> None:
+        if len(input_groups) != len(table_groups):
+            raise ValueError(
+                f"shuffle {name!r}: both sides need the same number of "
+                f"groups so the grand product balances row by row"
+            )
+        if not input_groups:
+            raise ValueError(f"shuffle {name!r} has no groups")
+        self.shuffles.append(Shuffle(name, input_groups, table_groups))
+
+    def enable_equality(self, column: Column) -> None:
+        """Mark a column as participating in the copy-constraint
+        permutation argument."""
+        if column.kind is ColumnKind.INSTANCE:
+            raise ValueError(
+                "instance columns are compared via public evaluation, "
+                "not the permutation argument, in this implementation"
+            )
+        if column not in self.equality_columns:
+            self.equality_columns.append(column)
+
+    def copy(
+        self, left_col: Column, left_row: int, right_col: Column, right_row: int
+    ) -> None:
+        """Constrain two cells to be equal (paper's "equality constraints")."""
+        for col in (left_col, right_col):
+            if col not in self.equality_columns:
+                self.enable_equality(col)
+        self.copies.append(CopyConstraint(left_col, left_row, right_col, right_row))
+
+    # -- analysis -------------------------------------------------------------
+
+    def max_gate_degree(self) -> int:
+        degree = 1
+        for gate in self.gates:
+            for constraint in gate.constraints:
+                degree = max(degree, constraint.degree())
+        return degree
+
+    def required_degree(self, permutation_chunk: int = 3) -> int:
+        """The constraint degree the proving system must support,
+        accounting for the permutation and lookup argument constraints
+        it will synthesize (see :mod:`repro.proving`).
+
+        Every gate is implicitly multiplied by the fixed active-rows
+        selector (so randomized blinding rows never violate gates even
+        when a gate is guarded by an advice flag), costing one degree.
+        """
+        degree = self.max_gate_degree() + 1
+        if self.equality_columns:
+            # active * Z(wX) * prod over chunk of (w + beta*delta*X + gamma)
+            degree = max(degree, permutation_chunk + 2)
+        for lookup in self.lookups:
+            input_deg = max((e.degree() for e in lookup.inputs), default=1)
+            table_deg = max((e.degree() for e in lookup.table), default=1)
+            # active * Z * (A + beta) * (S + gamma)
+            degree = max(degree, 1 + 1 + input_deg + table_deg)
+        for shuffle in self.shuffles:
+            # active * Z * prod over groups of (compressed_group + gamma)
+            for groups in (shuffle.input_groups, shuffle.table_groups):
+                total = sum(
+                    max((e.degree() for e in group), default=1)
+                    for group in groups
+                )
+                degree = max(degree, 1 + 1 + total)
+        return degree
+
+    def num_constraints(self) -> int:
+        """Total polynomial constraints (one per gate constraint); the
+        complexity currency of the paper's section 4 analyses."""
+        return sum(len(g.constraints) for g in self.gates)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "fixed_columns": len(self.fixed_columns),
+            "advice_columns": len(self.advice_columns),
+            "instance_columns": len(self.instance_columns),
+            "gates": len(self.gates),
+            "gate_constraints": self.num_constraints(),
+            "lookups": len(self.lookups),
+            "copy_constraints": len(self.copies),
+            "max_gate_degree": self.max_gate_degree(),
+        }

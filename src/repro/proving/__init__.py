@@ -1,0 +1,35 @@
+"""The Halo2-style proving system.
+
+This package turns a PLONKish circuit plus an assignment into a
+non-interactive zero-knowledge proof, and verifies such proofs:
+
+1. :mod:`repro.proving.keygen` -- derive the proving key (fixed-column
+   polynomials, copy-constraint sigma polynomials, system selectors)
+   and the verification key (their commitments).
+2. :mod:`repro.proving.prover` -- the five-round Fiat-Shamir protocol:
+   commit advice; build lookup permutations (theta); build permutation
+   and lookup grand products (beta, gamma); build the quotient
+   polynomial (y); evaluate everything at a random point (x) and batch
+   the openings through the IPA (:mod:`repro.proving.multiopen`).
+3. :mod:`repro.proving.verifier` -- recompute every challenge, check
+   the combined constraint identity at x, and verify the batched IPA
+   openings -- optionally deferring their linear-time base-folding MSMs
+   into a :class:`repro.proving.recursion.Accumulator` (the recursive
+   proof-composition technique the paper leverages).
+"""
+
+from repro.proving.keygen import ProvingKey, VerifyingKey, keygen
+from repro.proving.proof import Proof
+from repro.proving.prover import create_proof
+from repro.proving.recursion import Accumulator
+from repro.proving.verifier import verify_proof
+
+__all__ = [
+    "keygen",
+    "ProvingKey",
+    "VerifyingKey",
+    "Proof",
+    "create_proof",
+    "verify_proof",
+    "Accumulator",
+]

@@ -1,0 +1,252 @@
+"""Key generation (paper workflow phase 3).
+
+From the circuit shape and the public parameters we derive:
+
+- the **proving key**: coefficient and extended-coset-evaluation forms
+  of every fixed polynomial, the permutation sigma polynomials encoding
+  all copy constraints, and the system row-selectors (l0 / l_last /
+  l_active) that gate the permutation and lookup arguments away from
+  the blinding rows;
+- the **verifying key**: binding commitments to all of the above.
+
+Key generation is deterministic: any party can regenerate the keys from
+the public circuit description, so distributing the verifying key needs
+no trust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.algebra.domain import EvaluationDomain
+from repro.algebra.field import Field
+from repro.commit.ipa import commit_polynomial
+from repro.commit.params import PublicParams
+from repro.ecc.curve import Point
+from repro.plonkish.assignment import ZK_ROWS, Assignment
+from repro.plonkish.constraint_system import Column, ColumnKind, ConstraintSystem
+
+#: Columns covered by one permutation grand-product polynomial.  Keeping
+#: chunks small bounds the constraint degree at ``chunk + 2`` (the
+#: paper's "low-order polynomial constraints" design rule).
+PERMUTATION_CHUNK = 3
+
+
+@dataclass
+class PolyData:
+    """One committed polynomial in the three forms the prover needs."""
+
+    coeffs: list[int]
+    extended_evals: list[int] = dc_field(repr=False)
+    commitment: Point | None = None
+
+
+@dataclass
+class VerifyingKey:
+    params: PublicParams
+    field: Field
+    cs: ConstraintSystem
+    k: int
+    usable_rows: int
+    extended_k: int
+    fixed_commitments: list[Point]
+    sigma_commitments: list[Point]
+    system_commitments: dict[str, Point]
+    permutation_chunks: list[list[Column]]
+    delta: int
+
+    @property
+    def n_rows(self) -> int:
+        return 1 << self.k
+
+
+@dataclass
+class ProvingKey:
+    vk: VerifyingKey
+    domain: EvaluationDomain
+    extended_domain: EvaluationDomain
+    coset_shift: int
+    fixed: list[PolyData]
+    sigmas: list[PolyData]
+    system: dict[str, PolyData]
+    #: raw fixed column values (needed to evaluate lookup tables rowwise)
+    fixed_values: list[list[int]]
+    #: sigma values per equality column (row-indexed)
+    sigma_values: list[list[int]]
+
+
+def _system_selectors(n: int, usable: int) -> dict[str, list[int]]:
+    """The fixed row-indicator columns used by the synthesized
+    permutation/lookup constraints."""
+    l0 = [0] * n
+    l0[0] = 1
+    l_last = [0] * n
+    l_last[usable - 1] = 1
+    l_active = [0] * n
+    for i in range(usable):
+        l_active[i] = 1
+    return {"l0": l0, "l_last": l_last, "l_active": l_active}
+
+
+def build_permutation_columns(
+    cs: ConstraintSystem, field: Field, n: int, usable: int, delta: int
+) -> list[list[int]]:
+    """Compute the sigma column values from the copy constraints.
+
+    Positions ``(column, row)`` over all equality-enabled columns are
+    joined into cycles by union-find; sigma maps each position to the
+    next one in its cycle.  Position ``(c, i)`` is encoded as the field
+    element ``delta^c * omega^i``, giving disjoint cosets per column.
+    """
+    columns = cs.equality_columns
+    col_of = {col: idx for idx, col in enumerate(columns)}
+
+    parent: dict[tuple[int, int], tuple[int, int]] = {}
+
+    def find(pos: tuple[int, int]) -> tuple[int, int]:
+        root = pos
+        while parent.get(root, root) != root:
+            root = parent[root]
+        # Path compression.
+        while parent.get(pos, pos) != root:
+            parent[pos], pos = root, parent[pos]
+        return root
+
+    def union(a: tuple[int, int], b: tuple[int, int]) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for copy in cs.copies:
+        if copy.left_row >= usable or copy.right_row >= usable:
+            raise ValueError("copy constraints may not touch blinding rows")
+        union(
+            (col_of[copy.left_col], copy.left_row),
+            (col_of[copy.right_col], copy.right_row),
+        )
+
+    # Gather cycles.
+    cycles: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for c in range(len(columns)):
+        for i in range(usable):
+            cycles.setdefault(find((c, i)), []).append((c, i))
+
+    # sigma: next position in cycle (identity for singleton cycles).
+    sigma_map: dict[tuple[int, int], tuple[int, int]] = {}
+    for members in cycles.values():
+        for idx, pos in enumerate(members):
+            sigma_map[pos] = members[(idx + 1) % len(members)]
+
+    p = field.p
+    omega = field.root_of_unity_of_order(n)
+    omegas = [1] * n
+    for i in range(1, n):
+        omegas[i] = omegas[i - 1] * omega % p
+    deltas = [1] * max(1, len(columns))
+    for c in range(1, len(columns)):
+        deltas[c] = deltas[c - 1] * delta % p
+
+    sigma_values = []
+    for c in range(len(columns)):
+        col_vals = [0] * n
+        for i in range(n):
+            if i < usable:
+                tc, ti = sigma_map[(c, i)]
+            else:
+                tc, ti = c, i  # identity on blinding rows (unconstrained)
+            col_vals[i] = deltas[tc] * omegas[ti] % p
+        sigma_values.append(col_vals)
+    return sigma_values
+
+
+def _chunk_columns(columns: list[Column], chunk: int) -> list[list[Column]]:
+    return [columns[i : i + chunk] for i in range(0, len(columns), chunk)] or []
+
+
+def keygen(
+    params: PublicParams,
+    cs: ConstraintSystem,
+    field: Field,
+    k: int,
+) -> ProvingKey:
+    """Derive proving and verifying keys for a circuit of ``2^k`` rows."""
+    n = 1 << k
+    if n > params.n:
+        raise ValueError(f"circuit rows 2^{k} exceed params capacity 2^{params.k}")
+    usable = n - ZK_ROWS
+    if usable <= 1:
+        raise ValueError("circuit too small for blinding rows")
+
+    degree = cs.required_degree(PERMUTATION_CHUNK)
+    # The combined constraint polynomial has degree <= degree * (n - 1),
+    # so an extended domain of ceil(log2(degree)) extra bits determines
+    # it uniquely.
+    extension = max(1, (degree - 1).bit_length())
+    extended_k = k + extension
+    domain = EvaluationDomain(field, k)
+    extended_domain = EvaluationDomain(field, extended_k)
+    coset_shift = field.multiplicative_generator
+
+    fit_params = params.truncated(k) if params.k > k else params
+
+    def make_poly(values: list[int], commit: bool = True) -> PolyData:
+        coeffs = domain.ifft(values)
+        ext = extended_domain.coset_fft(coeffs, coset_shift)
+        commitment = commit_polynomial(fit_params, coeffs, 0) if commit else None
+        return PolyData(coeffs=coeffs, extended_evals=ext, commitment=commitment)
+
+    delta = field.multiplicative_generator
+
+    system_values = _system_selectors(n, usable)
+    system = {name: make_poly(vals) for name, vals in system_values.items()}
+
+    sigma_values = build_permutation_columns(cs, field, n, usable, delta)
+    sigmas = [make_poly(vals) for vals in sigma_values]
+
+    vk = VerifyingKey(
+        params=fit_params,
+        field=field,
+        cs=cs,
+        k=k,
+        usable_rows=usable,
+        extended_k=extended_k,
+        fixed_commitments=[],  # filled after fixed assignment is known
+        sigma_commitments=[pd.commitment for pd in sigmas],
+        system_commitments={name: pd.commitment for name, pd in system.items()},
+        permutation_chunks=_chunk_columns(cs.equality_columns, PERMUTATION_CHUNK),
+        delta=delta,
+    )
+    return ProvingKey(
+        vk=vk,
+        domain=domain,
+        extended_domain=extended_domain,
+        coset_shift=coset_shift,
+        fixed=[],
+        sigmas=sigmas,
+        system=system,
+        fixed_values=[],
+        sigma_values=sigma_values,
+    )
+
+
+def finalize_fixed(pk: ProvingKey, assignment: Assignment) -> None:
+    """Commit the fixed columns once their values are assigned.
+
+    Fixed values are part of the circuit description (the prover fills
+    them during synthesis), so this completes key generation.
+    """
+    field = pk.vk.field
+    domain, ext, shift = pk.domain, pk.extended_domain, pk.coset_shift
+    fit_params = pk.vk.params
+    pk.fixed = []
+    pk.fixed_values = [list(col) for col in assignment.fixed]
+    for values in assignment.fixed:
+        coeffs = domain.ifft(values)
+        pk.fixed.append(
+            PolyData(
+                coeffs=coeffs,
+                extended_evals=ext.coset_fft(coeffs, shift),
+                commitment=commit_polynomial(fit_params, coeffs, 0),
+            )
+        )
+    pk.vk.fixed_commitments = [pd.commitment for pd in pk.fixed]

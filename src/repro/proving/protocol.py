@@ -1,0 +1,93 @@
+"""Protocol structure shared by prover and verifier.
+
+The Fiat-Shamir transform only works when both sides absorb identical
+data in identical order.  Everything order-sensitive -- which column
+queries exist, which points get opened, how constraints are combined
+with the ``y`` challenge -- is defined once here and used by both
+:mod:`repro.proving.prover` and :mod:`repro.proving.verifier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plonkish.constraint_system import Column, ColumnKind, ConstraintSystem
+from repro.proving.keygen import VerifyingKey
+from repro.transcript import Transcript
+
+
+@dataclass
+class QuerySet:
+    """The ordered (column-index, rotation) queries per column kind."""
+
+    advice: list[tuple[int, int]]
+    fixed: list[tuple[int, int]]
+    instance: list[tuple[int, int]]
+
+
+def collect_queries(cs: ConstraintSystem) -> QuerySet:
+    """Every (column, rotation) referenced by gates and lookups, plus
+    rotation-0 queries for all equality columns (the permutation
+    argument evaluates them at x)."""
+    advice: set[tuple[int, int]] = set()
+    fixed: set[tuple[int, int]] = set()
+    instance: set[tuple[int, int]] = set()
+
+    def note(column: Column, rotation: int) -> None:
+        if column.kind is ColumnKind.ADVICE:
+            advice.add((column.index, rotation))
+        elif column.kind is ColumnKind.FIXED:
+            fixed.add((column.index, rotation))
+        else:
+            instance.add((column.index, rotation))
+
+    for gate in cs.gates:
+        for constraint in gate.constraints:
+            for column, rotation in constraint.queries():
+                note(column, rotation)
+    for lookup in cs.lookups:
+        for expr in lookup.inputs + lookup.table:
+            for column, rotation in expr.queries():
+                note(column, rotation)
+    for shuffle in cs.shuffles:
+        for groups in (shuffle.input_groups, shuffle.table_groups):
+            for group in groups:
+                for expr in group:
+                    for column, rotation in expr.queries():
+                        note(column, rotation)
+    for column in cs.equality_columns:
+        note(column, 0)
+
+    return QuerySet(
+        advice=sorted(advice),
+        fixed=sorted(fixed),
+        instance=sorted(instance),
+    )
+
+
+def init_transcript(vk: VerifyingKey, instance: list[list[int]]) -> Transcript:
+    """Create the protocol transcript and bind it to the verifying key
+    and the public instance values."""
+    tr = Transcript(b"poneglyphdb-proof-v1", vk.field)
+    tr.absorb_scalar(b"k", vk.k)
+    tr.absorb_scalar(b"usable", vk.usable_rows)
+    tr.absorb_points(b"vk-fixed", vk.fixed_commitments)
+    tr.absorb_points(b"vk-sigma", vk.sigma_commitments)
+    for name in sorted(vk.system_commitments):
+        tr.absorb_point(b"vk-system", vk.system_commitments[name])
+    for column_values in instance:
+        tr.absorb_scalars(b"instance", column_values)
+    return tr
+
+
+def permutation_z_count(vk: VerifyingKey) -> int:
+    return len(vk.permutation_chunks)
+
+
+def opening_point_order(
+    domain_omega_pows: dict[int, int]
+) -> list[int]:  # pragma: no cover - documentation helper
+    """Opening points are visited in first-use order by the multiopen;
+    both sides build claims in the same canonical sequence so the
+    grouping matches."""
+    return list(domain_omega_pows.values())

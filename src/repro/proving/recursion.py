@@ -1,0 +1,88 @@
+"""Recursive proof composition: the Halo-style accumulator.
+
+Verifying an IPA opening costs one MSM that is *linear* in the
+commitment size -- too expensive to do per proof when many proofs are
+checked (or when a proof is verified inside another circuit).  The
+accumulation trick [Bowe-Grigg-Hopwood 2019; BCMS 2020] observes that
+the expensive part of every opening check has the shape::
+
+    msm(G, a * s) + P == identity
+
+where only ``s`` (a tensor of the round challenges) and ``P`` differ per
+proof.  Taking a random linear combination of many such claims yields a
+single claim of the same shape, so a batch of proofs needs **one** MSM
+total -- this is the "recursive proof composition technique reducing the
+overall proof size and computational overhead" the paper builds on.
+
+:class:`Accumulator` collects deferred claims; :meth:`Accumulator.finalize`
+performs the single combined check.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.field import Field
+from repro.commit.ipa import IpaProof, reduce_opening
+from repro.commit.params import PublicParams
+from repro.ecc.curve import Point
+from repro.ecc.msm import msm
+from repro.transcript import Transcript
+
+
+class Accumulator:
+    """Accumulates deferred IPA base-folding claims.
+
+    The random combination weights are the verifier's own coins (they
+    must be unpredictable to the prover, which local randomness
+    guarantees for a verifier checking received proofs).
+    """
+
+    def __init__(self, params: PublicParams, field: Field):
+        self.params = params
+        self.field = field
+        self._scalars = [0] * params.n
+        self._residual: Point = params.curve.identity()
+        self._deferred = 0
+
+    @property
+    def deferred_count(self) -> int:
+        return self._deferred
+
+    def defer_opening(
+        self,
+        params: PublicParams,
+        transcript: Transcript,
+        commitment: Point,
+        x: int,
+        value: int,
+        proof: IpaProof,
+        field: Field,
+    ) -> bool:
+        """Run the logarithmic checks now; stash the MSM claim.
+
+        Returns False if the proof is structurally malformed (callers
+        treat that as an immediate verification failure).
+        """
+        if params.n != self.params.n:
+            raise ValueError("accumulator bound to different parameters")
+        reduced = reduce_opening(
+            params, transcript, commitment, x, value, proof, field
+        )
+        if reduced is None:
+            return False
+        s, a, residual = reduced
+        rho = self.field.rand()
+        p = self.field.p
+        weight = rho * a % p
+        scalars = self._scalars
+        for i, si in enumerate(s):
+            scalars[i] = (scalars[i] + weight * si) % p
+        self._residual = self._residual + residual * rho
+        self._deferred += 1
+        return True
+
+    def finalize(self) -> bool:
+        """Perform the single combined MSM check for all deferred claims."""
+        if self._deferred == 0:
+            return True
+        folded = msm(list(self.params.g), self._scalars)
+        return (folded + self._residual).is_identity()

@@ -1,0 +1,16 @@
+"""SQL frontend: parser, logical planner, plaintext executor, and the
+plan-to-circuit compiler (paper section 4.6, "Combining Gates").
+
+The supported subset covers the paper's TPC-H workload: SELECT with
+arithmetic and CASE expressions, aggregates (SUM/AVG/COUNT/MIN/MAX),
+multi-table FROM with PK-FK equijoin predicates, WHERE with
+comparisons/BETWEEN/IN/AND/OR, GROUP BY, HAVING, ORDER BY, LIMIT,
+DATE +/- INTERVAL arithmetic, and EXTRACT(YEAR FROM ...).
+"""
+
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+from repro.sql.executor import Executor
+from repro.sql.compiler import QueryCompiler
+
+__all__ = ["parse", "Planner", "Executor", "QueryCompiler"]

@@ -1,0 +1,137 @@
+"""Abstract syntax for the supported SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+class BinOpKind(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+class AggFunc(enum.Enum):
+    SUM = "sum"
+    AVG = "avg"
+    COUNT = "count"
+    MIN = "min"
+    MAX = "max"
+    STDDEV = "stddev"
+    VARIANCE = "variance"
+    MEDIAN = "median"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: int, float (decimal), 'string', or date."""
+
+    value: Union[int, float, str]
+    kind: str  # "int" | "decimal" | "string" | "date"
+
+
+@dataclass(frozen=True)
+class ColRef:
+    table: Optional[str]  # alias or table name; None = unqualified
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: BinOpKind
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Logical:
+    op: str  # "and" | "or"
+    terms: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Not:
+    term: "Expr"
+
+
+@dataclass(frozen=True)
+class Between:
+    expr: "Expr"
+    low: "Expr"
+    high: "Expr"
+
+
+@dataclass(frozen=True)
+class InList:
+    expr: "Expr"
+    values: tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class Case:
+    """CASE WHEN cond THEN a ELSE b END (single branch, as in TPC-H Q8)."""
+
+    condition: "Expr"
+    then: "Expr"
+    otherwise: "Expr"
+
+
+@dataclass(frozen=True)
+class Agg:
+    func: AggFunc
+    arg: Optional["Expr"]  # None for COUNT(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Extract:
+    part: str  # "year"
+    expr: "Expr"
+
+
+Expr = Union[Literal, ColRef, BinOp, Logical, Not, Between, InList, Case, Agg, Extract]
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class Query:
+    select: list[SelectItem]
+    tables: list[TableRef]
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None

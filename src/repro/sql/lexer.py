@@ -1,0 +1,106 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "order", "having", "limit",
+    "and", "or", "not", "between", "in", "as", "asc", "desc", "sum", "avg",
+    "count", "min", "max", "stddev", "variance", "median", "case", "when",
+    "then", "else", "end", "date", "interval", "day", "month", "year",
+    "extract", "distinct", "like",
+}
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+
+class LexError(ValueError):
+    pass
+
+
+_OPERATORS = ["<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/"]
+_PUNCT = "(),.;"
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            nl = sql.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if ch == "'":
+            j = sql.find("'", i + 1)
+            if j < 0:
+                raise LexError(f"unterminated string at {i}")
+            tokens.append(Token(TokenKind.STRING, sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # a trailing '.' (punctuation) is not part of a number
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, lowered, i))
+            else:
+                tokens.append(Token(TokenKind.IDENT, lowered, i))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                text = "<>" if op == "!=" else op
+                tokens.append(Token(TokenKind.OP, text, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, ch, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

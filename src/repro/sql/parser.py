@@ -1,0 +1,355 @@
+"""Recursive-descent parser for the SQL subset.
+
+DATE literals with INTERVAL arithmetic (``date '1998-12-01' - interval
+'90' day``) are constant-folded here, since circuits only see the final
+day number.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.sql.ast import (
+    Agg,
+    AggFunc,
+    Between,
+    BinOp,
+    BinOpKind,
+    Case,
+    ColRef,
+    Expr,
+    Extract,
+    InList,
+    Literal,
+    Logical,
+    Not,
+    OrderItem,
+    Query,
+    SelectItem,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenKind, tokenize
+
+
+class ParseError(ValueError):
+    pass
+
+
+_COMPARISONS = {"=", "<>", "<", "<=", ">", ">="}
+_AGG_FUNCS = {f.value for f in AggFunc}
+
+
+class Parser:
+    def __init__(self, sql: str):
+        self.tokens = tokenize(sql)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect_kw(self, word: str) -> Token:
+        tok = self.advance()
+        if not tok.is_kw(word):
+            raise ParseError(f"expected {word!r}, got {tok.text!r} at {tok.position}")
+        return tok
+
+    def expect_punct(self, ch: str) -> Token:
+        tok = self.advance()
+        if tok.kind is not TokenKind.PUNCT or tok.text != ch:
+            raise ParseError(f"expected {ch!r}, got {tok.text!r} at {tok.position}")
+        return tok
+
+    def accept_kw(self, word: str) -> bool:
+        if self.peek().is_kw(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_punct(self, ch: str) -> bool:
+        tok = self.peek()
+        if tok.kind is TokenKind.PUNCT and tok.text == ch:
+            self.advance()
+            return True
+        return False
+
+    # -- entry -------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.expect_kw("select")
+        select = [self._select_item()]
+        while self.accept_punct(","):
+            select.append(self._select_item())
+        self.expect_kw("from")
+        tables = [self._table_ref()]
+        while self.accept_punct(","):
+            tables.append(self._table_ref())
+        where = None
+        if self.accept_kw("where"):
+            where = self._expr()
+        group_by: list[Expr] = []
+        if self.accept_kw("group"):
+            self.expect_kw("by")
+            group_by.append(self._expr())
+            while self.accept_punct(","):
+                group_by.append(self._expr())
+        having = None
+        if self.accept_kw("having"):
+            having = self._expr()
+        order_by: list[OrderItem] = []
+        if self.accept_kw("order"):
+            self.expect_kw("by")
+            order_by.append(self._order_item())
+            while self.accept_punct(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept_kw("limit"):
+            tok = self.advance()
+            if tok.kind is not TokenKind.NUMBER:
+                raise ParseError(f"LIMIT needs a number, got {tok.text!r}")
+            limit = int(tok.text)
+        self.accept_punct(";")
+        tok = self.peek()
+        if tok.kind is not TokenKind.EOF:
+            raise ParseError(f"trailing input at {tok.position}: {tok.text!r}")
+        return Query(select, tables, where, group_by, having, order_by, limit)
+
+    # -- clauses --------------------------------------------------------------
+
+    def _select_item(self) -> SelectItem:
+        expr = self._expr()
+        alias = None
+        if self.accept_kw("as"):
+            tok = self.advance()
+            alias = tok.text
+        elif self.peek().kind is TokenKind.IDENT:
+            alias = self.advance().text
+        return SelectItem(expr, alias)
+
+    def _table_ref(self) -> TableRef:
+        tok = self.advance()
+        if tok.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected table name, got {tok.text!r}")
+        alias = None
+        if self.accept_kw("as"):
+            alias = self.advance().text
+        elif self.peek().kind is TokenKind.IDENT:
+            alias = self.advance().text
+        return TableRef(tok.text, alias)
+
+    def _order_item(self) -> OrderItem:
+        expr = self._expr()
+        descending = False
+        if self.accept_kw("desc"):
+            descending = True
+        else:
+            self.accept_kw("asc")
+        return OrderItem(expr, descending)
+
+    # -- expressions (precedence: or < and < not < cmp < add < mul < unary) ---
+
+    def _expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        terms = [self._and_expr()]
+        while self.accept_kw("or"):
+            terms.append(self._and_expr())
+        return terms[0] if len(terms) == 1 else Logical("or", tuple(terms))
+
+    def _and_expr(self) -> Expr:
+        terms = [self._not_expr()]
+        while self.accept_kw("and"):
+            terms.append(self._not_expr())
+        return terms[0] if len(terms) == 1 else Logical("and", tuple(terms))
+
+    def _not_expr(self) -> Expr:
+        if self.accept_kw("not"):
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        tok = self.peek()
+        if tok.kind is TokenKind.OP and tok.text in _COMPARISONS:
+            op = BinOpKind(self.advance().text)
+            right = self._additive()
+            return BinOp(op, left, right)
+        if tok.is_kw("between"):
+            self.advance()
+            low = self._additive()
+            self.expect_kw("and")
+            high = self._additive()
+            return Between(left, low, high)
+        if tok.is_kw("in"):
+            self.advance()
+            self.expect_punct("(")
+            values = [self._literal_only()]
+            while self.accept_punct(","):
+                values.append(self._literal_only())
+            self.expect_punct(")")
+            return InList(left, tuple(values))
+        if tok.is_kw("like"):
+            raise ParseError(
+                "LIKE predicates are excluded from this reproduction "
+                "(the paper's evaluation excludes string pattern matching)"
+            )
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            tok = self.peek()
+            if tok.kind is TokenKind.OP and tok.text in ("+", "-"):
+                op_text = self.advance().text
+                if self.peek().is_kw("interval"):
+                    left = self._fold_interval_arith(left, op_text)
+                    continue
+                op = BinOpKind(op_text)
+                left = BinOp(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _fold_interval_arith(self, left: Expr, op_text: str) -> Expr:
+        """Fold ``date 'Y-M-D' +/- interval 'n' unit`` into a date
+        literal (circuits only ever see the resolved day number)."""
+        self.expect_kw("interval")
+        amount_tok = self.advance()
+        if amount_tok.kind is not TokenKind.STRING:
+            raise ParseError("INTERVAL needs a quoted amount")
+        unit_tok = self.advance()
+        if unit_tok.text not in ("day", "month", "year"):
+            raise ParseError(f"unsupported interval unit {unit_tok.text!r}")
+        if not (isinstance(left, Literal) and left.kind == "date"):
+            raise ParseError("INTERVAL arithmetic requires a date literal")
+        base = datetime.date.fromisoformat(left.value)
+        folded = _fold_interval(base, op_text, int(amount_tok.text), unit_tok.text)
+        return Literal(folded, "date")
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            tok = self.peek()
+            if tok.kind is TokenKind.OP and tok.text in ("*", "/"):
+                op = BinOpKind(self.advance().text)
+                left = BinOp(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.OP and tok.text == "-":
+            self.advance()
+            inner = self._unary()
+            if isinstance(inner, Literal) and inner.kind in ("int", "decimal"):
+                return Literal(-inner.value, inner.kind)
+            return BinOp(BinOpKind.SUB, Literal(0, "int"), inner)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.PUNCT and tok.text == "(":
+            self.advance()
+            inner = self._expr()
+            self.expect_punct(")")
+            return inner
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            if "." in tok.text:
+                return Literal(float(tok.text), "decimal")
+            return Literal(int(tok.text), "int")
+        if tok.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(tok.text, "string")
+        if tok.is_kw("date"):
+            self.advance()
+            value = self.advance()
+            if value.kind is not TokenKind.STRING:
+                raise ParseError("DATE needs a quoted literal")
+            return Literal(value.text, "date")
+        if tok.is_kw("interval"):
+            raise ParseError("INTERVAL only supported in date arithmetic")
+        if tok.is_kw("case"):
+            return self._case()
+        if tok.is_kw("extract"):
+            self.advance()
+            self.expect_punct("(")
+            part = self.advance()
+            if not part.is_kw("year"):
+                raise ParseError("only EXTRACT(YEAR FROM ...) is supported")
+            self.expect_kw("from")
+            inner = self._expr()
+            self.expect_punct(")")
+            return Extract("year", inner)
+        if tok.kind is TokenKind.KEYWORD and tok.text in _AGG_FUNCS:
+            return self._aggregate()
+        if tok.kind is TokenKind.IDENT:
+            return self._column_ref()
+        raise ParseError(f"unexpected token {tok.text!r} at {tok.position}")
+
+    def _case(self) -> Expr:
+        self.expect_kw("case")
+        self.expect_kw("when")
+        condition = self._expr()
+        self.expect_kw("then")
+        then = self._expr()
+        self.expect_kw("else")
+        otherwise = self._expr()
+        self.expect_kw("end")
+        return Case(condition, then, otherwise)
+
+    def _aggregate(self) -> Expr:
+        func = AggFunc(self.advance().text)
+        self.expect_punct("(")
+        distinct = self.accept_kw("distinct")
+        arg: Expr | None
+        if self.peek().kind is TokenKind.OP and self.peek().text == "*":
+            self.advance()
+            arg = None
+            if func is not AggFunc.COUNT:
+                raise ParseError(f"{func.value}(*) is not valid SQL")
+        else:
+            arg = self._expr()
+        self.expect_punct(")")
+        return Agg(func, arg, distinct)
+
+    def _column_ref(self) -> Expr:
+        first = self.advance().text
+        if self.accept_punct("."):
+            tok = self.advance()
+            if tok.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+                raise ParseError(f"expected column name after {first}.")
+            return ColRef(first, tok.text)
+        return ColRef(None, first)
+
+    def _literal_only(self) -> Literal:
+        expr = self._primary()
+        if not isinstance(expr, Literal):
+            raise ParseError("IN lists must contain literals")
+        return expr
+
+def _fold_interval(base: datetime.date, op: str, amount: int, unit: str) -> str:
+    if unit == "day":
+        result = base + datetime.timedelta(days=amount if op == "+" else -amount)
+    elif unit == "month":
+        months = base.year * 12 + (base.month - 1) + (amount if op == "+" else -amount)
+        year, month = divmod(months, 12)
+        result = base.replace(year=year, month=month + 1)
+    elif unit == "year":
+        delta = amount if op == "+" else -amount
+        result = base.replace(year=base.year + delta)
+    else:  # pragma: no cover - lexer restricts units
+        raise ParseError(f"unsupported interval unit {unit!r}")
+    return result.isoformat()
+
+
+def parse(sql: str) -> Query:
+    """Parse one SELECT statement."""
+    return Parser(sql).parse_query()

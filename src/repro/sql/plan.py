@@ -1,0 +1,155 @@
+"""Logical query plans.
+
+The planner lowers a parsed query into a linear operator chain -- the
+"predefined execution plan" of paper section 4.6 that "outlines the
+sequence and dependencies of operations, guiding the assembly of gates
+in sequence".  Column references are resolved to qualified
+``binding.column`` names; every node lists its output columns and their
+value scales (fixed-point bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sql.ast import AggFunc, Expr
+
+
+@dataclass
+class OutputColumn:
+    """One output of a plan node: its name and fixed-point scale."""
+
+    name: str
+    scale: int = 1
+    kind: str = "int"  # int | decimal | date | string -- presentation only
+
+
+@dataclass
+class PlanNode:
+    outputs: list[OutputColumn] = field(default_factory=list, init=False)
+
+    def output_names(self) -> list[str]:
+        return [c.name for c in self.outputs]
+
+    def output(self, name: str) -> OutputColumn:
+        for col in self.outputs:
+            if col.name == name:
+                return col
+        raise KeyError(f"no output column {name!r}")
+
+
+@dataclass
+class Scan(PlanNode):
+    table: str
+    binding: str
+
+
+@dataclass
+class FilterNode(PlanNode):
+    child: PlanNode
+    predicate: Expr  # ColRefs resolved to (binding, column)
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """PK-FK equijoin; ``left`` is the FK (row-defining) side."""
+
+    left: PlanNode
+    right: PlanNode
+    fk_column: str  # qualified name in left's outputs
+    pk_column: str  # qualified name in right's outputs
+
+
+@dataclass
+class DeriveNode(PlanNode):
+    """Materialize a scalar expression as a new column."""
+
+    child: PlanNode
+    name: str
+    expr: Expr
+    scale: int = 1
+    kind: str = "int"
+
+
+@dataclass
+class AggSpec:
+    name: str
+    func: AggFunc
+    arg: Optional[Expr]  # None for COUNT(*)
+    scale: int = 1
+    kind: str = "int"
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    child: PlanNode
+    group_keys: list[str]  # qualified column names (derive first)
+    aggregates: list[AggSpec]
+
+
+@dataclass
+class SortNode(PlanNode):
+    child: PlanNode
+    keys: list[tuple[str, bool]]  # (column name, descending)
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    child: PlanNode
+    items: list[tuple[str, Expr]]  # (output name, expression over child)
+
+
+@dataclass
+class LimitNode(PlanNode):
+    child: PlanNode
+    count: int
+
+
+def walk(node: PlanNode):
+    """Yield nodes bottom-up."""
+    if isinstance(node, Scan):
+        yield node
+        return
+    children = []
+    if isinstance(node, JoinNode):
+        children = [node.left, node.right]
+    elif hasattr(node, "child"):
+        children = [node.child]
+    for child in children:
+        yield from walk(child)
+    yield node
+
+
+def describe(node: PlanNode, indent: int = 0) -> str:
+    """Human-readable plan tree (used by examples and EXPLAIN-style
+    output)."""
+    pad = "  " * indent
+    if isinstance(node, Scan):
+        return f"{pad}Scan({node.table} as {node.binding})"
+    if isinstance(node, FilterNode):
+        return f"{pad}Filter\n{describe(node.child, indent + 1)}"
+    if isinstance(node, JoinNode):
+        return (
+            f"{pad}Join({node.fk_column} = {node.pk_column})\n"
+            f"{describe(node.left, indent + 1)}\n"
+            f"{describe(node.right, indent + 1)}"
+        )
+    if isinstance(node, DeriveNode):
+        return f"{pad}Derive({node.name})\n{describe(node.child, indent + 1)}"
+    if isinstance(node, AggregateNode):
+        aggs = ", ".join(a.name for a in node.aggregates)
+        keys = ", ".join(node.group_keys)
+        return (
+            f"{pad}Aggregate(keys=[{keys}], aggs=[{aggs}])\n"
+            f"{describe(node.child, indent + 1)}"
+        )
+    if isinstance(node, SortNode):
+        keys = ", ".join(f"{k}{' desc' if d else ''}" for k, d in node.keys)
+        return f"{pad}Sort({keys})\n{describe(node.child, indent + 1)}"
+    if isinstance(node, ProjectNode):
+        items = ", ".join(name for name, _ in node.items)
+        return f"{pad}Project({items})\n{describe(node.child, indent + 1)}"
+    if isinstance(node, LimitNode):
+        return f"{pad}Limit({node.count})\n{describe(node.child, indent + 1)}"
+    return f"{pad}{type(node).__name__}"

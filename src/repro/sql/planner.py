@@ -1,0 +1,564 @@
+"""Query planning: name resolution, join ordering, operator lowering.
+
+The planner turns a parsed :class:`~repro.sql.ast.Query` into the
+operator chain of :mod:`repro.sql.plan`:
+
+``Scan -> Filter (pushed down) -> Join* -> Derive* -> Aggregate ->
+Filter(HAVING) -> Project -> Sort -> Limit``
+
+Join ordering follows the foreign-key graph: the root is a binding that
+only appears on the FK side of join predicates (the fact table in every
+TPC-H query we reproduce), and each subsequent join brings in a table
+referenced through a PK.  Equality predicates that are not FK-PK edges
+(e.g. Q5's ``c_nationkey = s_nationkey``) become post-join filters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+
+from repro.db.database import Database
+from repro.db.types import SqlType
+from repro.sql.ast import (
+    Agg,
+    AggFunc,
+    Between,
+    BinOp,
+    BinOpKind,
+    Case,
+    ColRef,
+    Expr,
+    Extract,
+    InList,
+    Literal,
+    Logical,
+    Not,
+    Query,
+)
+from repro.sql.plan import (
+    AggregateNode,
+    AggSpec,
+    DeriveNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    OutputColumn,
+    PlanNode,
+    ProjectNode,
+    Scan,
+    SortNode,
+)
+
+
+class PlanError(ValueError):
+    pass
+
+
+_COMPARE_OPS = {
+    BinOpKind.EQ, BinOpKind.NE, BinOpKind.LT,
+    BinOpKind.LE, BinOpKind.GT, BinOpKind.GE,
+}
+
+
+def _qualified(ref: ColRef) -> str:
+    return f"{ref.table}.{ref.name}"
+
+
+class Planner:
+    def __init__(self, db: Database):
+        self.db = db
+        self._fresh = itertools.count()
+
+    # ------------------------------------------------------------------ API
+
+    def plan(self, query: Query) -> PlanNode:
+        bindings = self._resolve_bindings(query)
+        resolver = _Resolver(self.db, bindings)
+
+        where = resolver.resolve(query.where) if query.where else None
+        join_preds, filters = self._split_where(where, bindings)
+
+        node = self._build_join_tree(query, bindings, join_preds, filters, resolver)
+
+        # Post-join filters (cross-binding equalities, residuals).
+        for pred in filters["post"]:
+            node = self._filter(node, pred)
+
+        has_aggregates = bool(query.group_by) or any(
+            _contains_agg(resolver.resolve(item.expr)) for item in query.select
+        )
+        if has_aggregates:
+            node = self._aggregate(query, node, resolver)
+        else:
+            node = self._project_simple(query, node, resolver)
+
+        if query.order_by:
+            node = self._sort(query, node, resolver)
+        if query.limit is not None:
+            limited = LimitNode(node, query.limit)
+            limited.outputs = list(node.outputs)
+            node = limited
+        return node
+
+    # -------------------------------------------------------------- binding
+
+    def _resolve_bindings(self, query: Query) -> dict[str, str]:
+        bindings: dict[str, str] = {}
+        for ref in query.tables:
+            if ref.name not in self.db.tables:
+                raise PlanError(f"unknown table {ref.name!r}")
+            if ref.binding in bindings:
+                raise PlanError(f"duplicate binding {ref.binding!r}")
+            bindings[ref.binding] = ref.name
+        return bindings
+
+    # ---------------------------------------------------------- where split
+
+    def _split_where(self, where: Expr | None, bindings: dict[str, str]):
+        join_preds: list[tuple[ColRef, ColRef]] = []
+        filters: dict[str, list] = {name: [] for name in bindings}
+        filters["post"] = []
+        if where is None:
+            return join_preds, filters
+        for conjunct in _conjuncts(where):
+            refs = _column_refs(conjunct)
+            tables = {r.table for r in refs}
+            if (
+                isinstance(conjunct, BinOp)
+                and conjunct.op is BinOpKind.EQ
+                and isinstance(conjunct.left, ColRef)
+                and isinstance(conjunct.right, ColRef)
+                and len(tables) == 2
+            ):
+                join_preds.append((conjunct.left, conjunct.right))
+            elif len(tables) == 1:
+                filters[next(iter(tables))].append(conjunct)
+            else:
+                filters["post"].append(conjunct)
+        return join_preds, filters
+
+    # ------------------------------------------------------------ join tree
+
+    def _scan(self, binding: str, table: str) -> PlanNode:
+        scan = Scan(table=table, binding=binding)
+        schema = self.db.schema(table)
+        scan.outputs = [
+            OutputColumn(
+                name=f"{binding}.{col.name}",
+                scale=col.type.scale,
+                kind=col.type.base.value,
+            )
+            for col in schema.columns
+        ]
+        return scan
+
+    def _filter(self, child: PlanNode, predicate: Expr) -> PlanNode:
+        node = FilterNode(child, predicate)
+        node.outputs = list(child.outputs)
+        return node
+
+    def _build_join_tree(self, query, bindings, join_preds, filters, resolver):
+        # Classify each join predicate as FK -> PK using the schemas.
+        edges = []  # (fk_ref, pk_ref)
+        for left, right in join_preds:
+            fk_pk = self._orient(left, right, bindings)
+            if fk_pk is None:
+                filters["post"].append(BinOp(BinOpKind.EQ, left, right))
+            else:
+                edges.append(fk_pk)
+
+        fk_bindings = {fk.table for fk, _ in edges}
+        pk_bindings = {pk.table for _, pk in edges}
+
+        if not edges:
+            if len(bindings) > 1:
+                raise PlanError("cross joins without predicates are unsupported")
+            binding, table = next(iter(bindings.items()))
+            node = self._scan(binding, table)
+            for pred in filters[binding]:
+                node = self._filter(node, pred)
+            return node
+
+        roots = [b for b in fk_bindings if b not in pk_bindings]
+        if not roots:
+            raise PlanError("cyclic join graph; cannot pick a fact root")
+        root = roots[0]
+
+        node = self._scan(root, bindings[root])
+        for pred in filters[root]:
+            node = self._filter(node, pred)
+        joined = {root}
+        remaining = list(edges)
+        while remaining:
+            progress = False
+            for edge in list(remaining):
+                fk, pk = edge
+                if fk.table in joined and pk.table not in joined:
+                    right = self._scan(pk.table, bindings[pk.table])
+                    for pred in filters[pk.table]:
+                        right = self._filter(right, pred)
+                    join = JoinNode(
+                        left=node,
+                        right=right,
+                        fk_column=_qualified(fk),
+                        pk_column=_qualified(pk),
+                    )
+                    join.outputs = list(node.outputs) + list(right.outputs)
+                    node = join
+                    joined.add(pk.table)
+                    remaining.remove(edge)
+                    progress = True
+            if not progress:
+                # Leftover edges where both sides are joined already:
+                # plain equality filters.
+                for fk, pk in remaining:
+                    if fk.table in joined and pk.table in joined:
+                        filters["post"].append(
+                            BinOp(BinOpKind.EQ, fk, pk)
+                        )
+                        remaining.remove((fk, pk))
+                        progress = True
+                if not progress:
+                    raise PlanError(
+                        "join graph is disconnected from the fact root"
+                    )
+        unjoined = set(bindings) - joined
+        if unjoined:
+            raise PlanError(f"tables never joined: {sorted(unjoined)}")
+        return node
+
+    def _orient(self, left: ColRef, right: ColRef, bindings):
+        """Return (fk_ref, pk_ref) if the predicate is an FK-PK edge."""
+        for a, b in ((left, right), (right, left)):
+            schema_a = self.db.schema(bindings[a.table])
+            schema_b = self.db.schema(bindings[b.table])
+            target = schema_a.foreign_keys.get(a.name)
+            if target and target[0] == schema_b.name and target[1] == b.name:
+                return a, b
+            # Also accept: b is a's table's primary key referenced ad hoc.
+            if schema_b.primary_key == b.name and schema_a.primary_key != a.name:
+                return a, b
+        return None
+
+    # ------------------------------------------------------------ aggregate
+
+    def _aggregate(self, query: Query, node: PlanNode, resolver) -> PlanNode:
+        # GROUP BY may name a select alias (e.g. "group by o_year" where
+        # o_year is EXTRACT(...)): substitute the aliased expression.
+        alias_exprs = {
+            item.alias: item.expr for item in query.select if item.alias
+        }
+        # 1. Derive group keys that are not plain columns.
+        key_names: list[str] = []
+        derived: dict[Expr, str] = {}
+        for key_expr in query.group_by:
+            if (
+                isinstance(key_expr, ColRef)
+                and key_expr.table is None
+                and key_expr.name in alias_exprs
+            ):
+                key_expr = alias_exprs[key_expr.name]
+            resolved = resolver.resolve(key_expr)
+            if isinstance(resolved, ColRef):
+                if resolved.table is None:
+                    raise PlanError(
+                        f"cannot resolve GROUP BY column {resolved.name!r}"
+                    )
+                key_names.append(_qualified(resolved))
+            else:
+                name = f"__key{next(self._fresh)}"
+                scale, kind = _infer_scale(resolved, node)
+                dnode = DeriveNode(node, name, resolved, scale, kind)
+                dnode.outputs = node.outputs + [OutputColumn(name, scale, kind)]
+                node = dnode
+                derived[resolved] = name
+                key_names.append(name)
+
+        # 2. Collect aggregate specs from SELECT, HAVING and ORDER BY.
+        specs: list[AggSpec] = []
+        spec_by_struct: dict = {}
+
+        def intern_agg(agg: Agg) -> str:
+            key = (agg.func, repr(agg.arg), agg.distinct)
+            if key in spec_by_struct:
+                return spec_by_struct[key]
+            name = f"__agg{len(specs)}"
+            arg = agg.arg
+            if arg is not None:
+                scale, kind = _infer_scale(arg, node)
+            else:
+                scale, kind = 1, "int"
+            if agg.func is AggFunc.COUNT:
+                scale, kind = 1, "int"
+            elif agg.func is AggFunc.AVG:
+                scale, kind = scale * 100, "decimal"
+            elif agg.func is AggFunc.VARIANCE:
+                scale, kind = scale * scale, "decimal"
+            specs.append(AggSpec(name, agg.func, arg, scale, kind))
+            spec_by_struct[key] = name
+            return name
+
+        alias_map: dict[str, tuple[str, int, str]] = {}
+        items: list[tuple[str, Expr]] = []
+        for i, item in enumerate(query.select):
+            resolved = resolver.resolve(item.expr)
+            rewritten = _rewrite_aggs(resolved, intern_agg)
+            rewritten = _rewrite_keys(rewritten, derived)
+            name = item.alias or (
+                _qualified(resolved) if isinstance(resolved, ColRef) else f"col{i}"
+            )
+            items.append((name, rewritten))
+            scale, kind = None, None  # filled after AggregateNode outputs known
+            alias_map[name] = (name, 0, "")
+
+        having_expr = None
+        if query.having is not None:
+            having_expr = _rewrite_aggs(
+                resolver.resolve(query.having), intern_agg
+            )
+
+        agg_node = AggregateNode(node, key_names, specs)
+        agg_node.outputs = [
+            _find_output(node, key) for key in key_names
+        ] + [OutputColumn(s.name, s.scale, s.kind) for s in specs]
+        node = agg_node
+
+        if having_expr is not None:
+            node = self._filter(node, having_expr)
+
+        project = ProjectNode(node, items)
+        project.outputs = [
+            OutputColumn(name, *_infer_scale(expr, node)) for name, expr in items
+        ]
+        return project
+
+    def _project_simple(self, query: Query, node: PlanNode, resolver) -> PlanNode:
+        items = []
+        for i, item in enumerate(query.select):
+            resolved = resolver.resolve(item.expr)
+            name = item.alias or (
+                _qualified(resolved) if isinstance(resolved, ColRef) else f"col{i}"
+            )
+            items.append((name, resolved))
+        project = ProjectNode(node, items)
+        project.outputs = [
+            OutputColumn(name, *_infer_scale(expr, node)) for name, expr in items
+        ]
+        return project
+
+    def _sort(self, query: Query, node: PlanNode, resolver) -> PlanNode:
+        keys: list[tuple[str, bool]] = []
+        names = set(node.output_names())
+        for order in query.order_by:
+            expr = order.expr
+            if isinstance(expr, ColRef) and expr.table is None and expr.name in names:
+                keys.append((expr.name, order.descending))
+                continue
+            resolved = resolver.resolve(expr)
+            if isinstance(resolved, ColRef) and _qualified(resolved) in names:
+                keys.append((_qualified(resolved), order.descending))
+                continue
+            raise PlanError(
+                f"ORDER BY expression must be a select alias or output "
+                f"column, got {expr}"
+            )
+        sort = SortNode(node, keys)
+        sort.outputs = list(node.outputs)
+        return sort
+
+
+class _Resolver:
+    """Qualify column references against the FROM bindings."""
+
+    def __init__(self, db: Database, bindings: dict[str, str]):
+        self.db = db
+        self.bindings = bindings
+
+    def resolve(self, expr: Expr) -> Expr:
+        if isinstance(expr, ColRef):
+            return self._resolve_ref(expr)
+        if isinstance(expr, BinOp):
+            return BinOp(expr.op, self.resolve(expr.left), self.resolve(expr.right))
+        if isinstance(expr, Logical):
+            return Logical(expr.op, tuple(self.resolve(t) for t in expr.terms))
+        if isinstance(expr, Not):
+            return Not(self.resolve(expr.term))
+        if isinstance(expr, Between):
+            return Between(
+                self.resolve(expr.expr),
+                self.resolve(expr.low),
+                self.resolve(expr.high),
+            )
+        if isinstance(expr, InList):
+            return InList(self.resolve(expr.expr), expr.values)
+        if isinstance(expr, Case):
+            return Case(
+                self.resolve(expr.condition),
+                self.resolve(expr.then),
+                self.resolve(expr.otherwise),
+            )
+        if isinstance(expr, Agg):
+            arg = self.resolve(expr.arg) if expr.arg is not None else None
+            return Agg(expr.func, arg, expr.distinct)
+        if isinstance(expr, Extract):
+            return Extract(expr.part, self.resolve(expr.expr))
+        return expr
+
+    def _resolve_ref(self, ref: ColRef) -> ColRef:
+        if ref.table is not None:
+            if ref.table not in self.bindings:
+                # Could be a select alias used in HAVING/ORDER; leave as-is.
+                return ref
+            table = self.bindings[ref.table]
+            if not self.db.schema(table).has_column(ref.name):
+                raise PlanError(f"no column {ref.name!r} in {table!r}")
+            return ColRef(ref.table, ref.name)
+        matches = [
+            binding
+            for binding, table in self.bindings.items()
+            if self.db.schema(table).has_column(ref.name)
+        ]
+        if len(matches) == 1:
+            return ColRef(matches[0], ref.name)
+        if not matches:
+            # Probably a select alias (HAVING/ORDER BY); keep unqualified.
+            return ref
+        raise PlanError(f"ambiguous column {ref.name!r}: {matches}")
+
+
+# ---------------------------------------------------------------- helpers
+
+
+def _conjuncts(expr: Expr):
+    if isinstance(expr, Logical) and expr.op == "and":
+        for term in expr.terms:
+            yield from _conjuncts(term)
+    else:
+        yield expr
+
+
+def _column_refs(expr: Expr) -> list[ColRef]:
+    out: list[ColRef] = []
+
+    def visit(e: Expr) -> None:
+        if isinstance(e, ColRef):
+            out.append(e)
+        elif isinstance(e, BinOp):
+            visit(e.left)
+            visit(e.right)
+        elif isinstance(e, Logical):
+            for t in e.terms:
+                visit(t)
+        elif isinstance(e, Not):
+            visit(e.term)
+        elif isinstance(e, Between):
+            visit(e.expr)
+            visit(e.low)
+            visit(e.high)
+        elif isinstance(e, InList):
+            visit(e.expr)
+        elif isinstance(e, Case):
+            visit(e.condition)
+            visit(e.then)
+            visit(e.otherwise)
+        elif isinstance(e, Agg) and e.arg is not None:
+            visit(e.arg)
+        elif isinstance(e, Extract):
+            visit(e.expr)
+
+    visit(expr)
+    return out
+
+
+def _contains_agg(expr: Expr) -> bool:
+    if isinstance(expr, Agg):
+        return True
+    if isinstance(expr, BinOp):
+        return _contains_agg(expr.left) or _contains_agg(expr.right)
+    if isinstance(expr, Case):
+        return any(
+            _contains_agg(e) for e in (expr.condition, expr.then, expr.otherwise)
+        )
+    if isinstance(expr, Extract):
+        return _contains_agg(expr.expr)
+    return False
+
+
+def _rewrite_aggs(expr: Expr, intern) -> Expr:
+    if isinstance(expr, Agg):
+        return ColRef(None, intern(expr))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op, _rewrite_aggs(expr.left, intern), _rewrite_aggs(expr.right, intern)
+        )
+    if isinstance(expr, Logical):
+        return Logical(expr.op, tuple(_rewrite_aggs(t, intern) for t in expr.terms))
+    if isinstance(expr, Not):
+        return Not(_rewrite_aggs(expr.term, intern))
+    return expr
+
+
+def _rewrite_keys(expr: Expr, derived: dict[Expr, str]) -> Expr:
+    for original, name in derived.items():
+        if expr == original:
+            return ColRef(None, name)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _rewrite_keys(expr.left, derived),
+            _rewrite_keys(expr.right, derived),
+        )
+    if isinstance(expr, Extract):
+        for original, name in derived.items():
+            if expr == original:
+                return ColRef(None, name)
+    return expr
+
+
+def _find_output(node: PlanNode, name: str) -> OutputColumn:
+    for col in node.outputs:
+        if col.name == name:
+            return col
+    raise PlanError(f"column {name!r} not produced by child")
+
+
+def _infer_scale(expr: Expr, node: PlanNode) -> tuple[int, str]:
+    """The fixed-point scale and presentation kind of an expression over
+    ``node``'s outputs."""
+    if isinstance(expr, Literal):
+        if expr.kind == "decimal":
+            return 100, "decimal"
+        if expr.kind == "date":
+            return 1, "date"
+        if expr.kind == "string":
+            return 1, "string"
+        return 1, "int"
+    if isinstance(expr, ColRef):
+        name = _qualified(expr) if expr.table else expr.name
+        try:
+            col = node.output(name)
+        except KeyError:
+            return 1, "int"
+        return col.scale, col.kind
+    if isinstance(expr, BinOp):
+        ls, lk = _infer_scale(expr.left, node)
+        rs, rk = _infer_scale(expr.right, node)
+        if expr.op in (BinOpKind.ADD, BinOpKind.SUB):
+            scale = max(ls, rs)
+            kind = lk if lk == rk else "decimal"
+            return scale, kind
+        if expr.op is BinOpKind.MUL:
+            return ls * rs, "decimal" if max(ls, rs) > 1 else "int"
+        if expr.op is BinOpKind.DIV:
+            return 100, "decimal"
+        return 1, "int"  # comparisons
+    if isinstance(expr, Case):
+        ts, tk = _infer_scale(expr.then, node)
+        os_, ok = _infer_scale(expr.otherwise, node)
+        return max(ts, os_), tk if ts >= os_ else ok
+    if isinstance(expr, Extract):
+        return 1, "int"
+    if isinstance(expr, Agg):
+        raise PlanError("aggregates must be interned before scale inference")
+    return 1, "int"

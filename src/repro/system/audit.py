@@ -1,0 +1,49 @@
+"""The auditor role (paper section 3.3).
+
+A regulator trusted by both sides reads the raw database from the
+prover, validates its authenticity out of band, and attests that the
+published commitment corresponds to it.  Clients compare the attested
+commitment (e.g. pinned on a blockchain) with the commitment every
+proof links to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.commit.params import PublicParams
+from repro.db.commitment import (
+    CommitmentSecrets,
+    DatabaseCommitment,
+    audit_commitment,
+)
+from repro.db.database import Database
+
+
+@dataclass
+class AuditCertificate:
+    """The auditor's attestation over a commitment root."""
+
+    root: bytes
+    valid: bool
+    detail: str = ""
+
+
+def audit(
+    db: Database,
+    commitment: DatabaseCommitment,
+    secrets: CommitmentSecrets,
+    params: PublicParams,
+) -> AuditCertificate:
+    """Recompute every column commitment from the raw database and the
+    prover's disclosed randomness; attest the published root."""
+    try:
+        fit = params.truncated(commitment.k) if params.k > commitment.k else params
+        ok = audit_commitment(db, commitment, secrets, fit)
+    except (KeyError, ValueError) as exc:
+        return AuditCertificate(commitment.root, False, f"audit error: {exc}")
+    if not ok:
+        return AuditCertificate(
+            commitment.root, False, "commitment does not match the database"
+        )
+    return AuditCertificate(commitment.root, True)

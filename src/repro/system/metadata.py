@@ -1,0 +1,75 @@
+"""Public database metadata.
+
+The verifier regenerates the query circuit (and hence the verifying
+key) from public information only: table schemas, row counts, string
+dictionaries, and the commitment parameter ``k``.  Cell values never
+leave the prover.
+
+Note on dictionaries: publishing them reveals the *set* of distinct
+strings per column (market segments, nation names, ...), not which rows
+hold which value.  TPC-H's string domains are public vocabulary; for
+columns where the domain itself is sensitive, a keyed-PRF encoding
+would be substituted (out of scope, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.database import Database
+from repro.db.schema import TableSchema
+from repro.db.table import Table
+from repro.db.types import SqlType
+
+
+@dataclass
+class PublicMetadata:
+    k: int
+    schemas: dict[str, TableSchema]
+    table_sizes: dict[str, int]
+    dictionaries: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: circuit geometry both parties must agree on (paper defaults:
+    #: 8-bit u8 cells over 64-bit values, 48-bit sort-key components).
+    limb_bits: int = 8
+    value_bits: int = 64
+    key_bits: int = 48
+
+    @classmethod
+    def from_database(
+        cls,
+        db: Database,
+        k: int,
+        limb_bits: int = 8,
+        value_bits: int = 64,
+        key_bits: int = 48,
+    ) -> "PublicMetadata":
+        dictionaries = {}
+        for name, table in db.tables.items():
+            for col in table.schema.columns:
+                if col.type.base is SqlType.STRING:
+                    qualified = f"{name}.{col.name}"
+                    dictionaries[qualified] = db.encoder.dictionary(qualified)
+        return cls(
+            k=k,
+            schemas={name: t.schema for name, t in db.tables.items()},
+            table_sizes={name: len(t) for name, t in db.tables.items()},
+            dictionaries=dictionaries,
+            limb_bits=limb_bits,
+            value_bits=value_bits,
+            key_bits=key_bits,
+        )
+
+
+def shell_database(metadata: PublicMetadata) -> Database:
+    """A data-free database stand-in: right schemas, right sizes, right
+    dictionaries, all-zero cells.  Sufficient for circuit compilation
+    and key generation on the verifier side."""
+    db = Database()
+    for name, schema in metadata.schemas.items():
+        size = metadata.table_sizes[name]
+        columns = {col.name: [0] * size for col in schema.columns}
+        db.add_table(Table(schema, columns))
+    for qualified, codes in metadata.dictionaries.items():
+        db.encoder._dicts[qualified] = dict(codes)
+        db.encoder._rev[qualified] = {c: s for s, c in codes.items()}
+    return db

@@ -1,0 +1,188 @@
+"""The prover: hosts the database, commits to it, answers queries.
+
+``answer()`` runs the full workflow of paper Figure 2: circuit
+construction (phase 2), key generation (phase 3), and proof generation
+(phase 4), returning the decoded result together with the proof and the
+scan-link deltas that bind the proof to the published database
+commitment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.algebra.field import Field, SCALAR_FIELD
+from repro.commit.params import PublicParams
+from repro.db.commitment import (
+    CommitmentSecrets,
+    DatabaseCommitment,
+    commit_database,
+)
+from repro.db.database import Database
+from repro.plonkish.assignment import Assignment
+from repro.proving.keygen import ProvingKey, finalize_fixed, keygen
+from repro.proving.proof import Proof
+from repro.proving.prover import ProverTiming, create_proof
+from repro.sql.compiler import CompiledQuery, QueryCompiler
+from repro.sql.executor import Executor
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+from repro.system.metadata import PublicMetadata
+
+
+@dataclass
+class ScanLinkProof:
+    """Reveals the blinding delta between a scan advice commitment and
+    the corresponding database column commitment."""
+
+    advice_index: int
+    table: str
+    column: str
+    delta: int
+
+
+@dataclass
+class QueryResponse:
+    """What the prover sends back: result + proof + binding evidence."""
+
+    sql: str
+    result_encoded: list[list[int]]
+    result: list[list[Any]]
+    column_names: list[str]
+    proof: Proof
+    scan_links: list[ScanLinkProof]
+    timing: ProverTiming = field(default_factory=ProverTiming)
+    circuit_summary: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def proof_size_bytes(self) -> int:
+        return self.proof.size_bytes()
+
+
+class ProverNode:
+    """The database owner / prover P."""
+
+    def __init__(
+        self,
+        db: Database,
+        params: PublicParams,
+        k: int,
+        field_: Field = SCALAR_FIELD,
+        limb_bits: int = 8,
+        value_bits: int = 64,
+        key_bits: int = 48,
+    ):
+        if (1 << k) > params.n:
+            raise ValueError("k exceeds public parameter capacity")
+        self.db = db
+        self.params = params.truncated(k) if params.k > k else params
+        self.k = k
+        self.field = field_
+        self.limb_bits = limb_bits
+        self.value_bits = value_bits
+        self.key_bits = key_bits
+        self.commitment: Optional[DatabaseCommitment] = None
+        self._secrets: Optional[CommitmentSecrets] = None
+        self._planner = Planner(db)
+        self._executor = Executor(db)
+
+    # -- phase 2: commitment -------------------------------------------------
+
+    def publish_commitment(self) -> DatabaseCommitment:
+        """Commit to the database (done once; Table 3 measures this)."""
+        self.commitment, self._secrets = commit_database(
+            self.db, self.params, self.k, self.field
+        )
+        return self.commitment
+
+    def public_metadata(self) -> PublicMetadata:
+        return PublicMetadata.from_database(
+            self.db, self.k, self.limb_bits, self.value_bits, self.key_bits
+        )
+
+    # -- phases 3-4: answer a query -------------------------------------------
+
+    def answer(self, sql: str) -> QueryResponse:
+        """Execute ``sql`` and produce the proof of correct execution."""
+        if self.commitment is None or self._secrets is None:
+            raise RuntimeError("publish_commitment() must run first")
+        timing = ProverTiming()
+        t0 = time.perf_counter()
+
+        query = parse(sql)
+        plan = self._planner.plan(query)
+        compiled = QueryCompiler(
+            self.db, self.k, self.limb_bits, self.value_bits, self.key_bits
+        ).compile(plan)
+        timing.extra["compile"] = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        asg = Assignment(compiled.cs, self.field, self.k)
+        result_encoded = compiled.assign_witness(asg, self.db)
+        # Replay the committed blinding tails in the scan columns so
+        # the advice commitments differ from the database commitments
+        # only in the W component.
+        blind_overrides: dict[int, int] = {}
+        links: list[ScanLinkProof] = []
+        for link in compiled.scan_links:
+            secret = self._secrets.columns[(link.table, link.column)]
+            advice_col = compiled.cs.advice_columns[link.advice_index]
+            asg.assign_tail(advice_col, secret.tail)
+            delta = self.field.rand()
+            blind_overrides[link.advice_index] = (
+                secret.blind + delta
+            ) % self.field.p
+            links.append(
+                ScanLinkProof(link.advice_index, link.table, link.column, delta)
+            )
+        timing.extra["witness"] = time.perf_counter() - t1
+
+        t2 = time.perf_counter()
+        pk: ProvingKey = keygen(self.params, compiled.cs, self.field, self.k)
+        finalize_fixed(pk, asg)
+        timing.extra["keygen"] = time.perf_counter() - t2
+
+        proof = create_proof(
+            pk, asg, timing=timing, advice_blind_overrides=blind_overrides
+        )
+        timing.total = time.perf_counter() - t0
+
+        decoded = self._decode(compiled, result_encoded)
+        return QueryResponse(
+            sql=sql,
+            result_encoded=result_encoded,
+            result=decoded,
+            column_names=[meta.name for meta in compiled.outputs],
+            proof=proof,
+            scan_links=links,
+            timing=timing,
+            circuit_summary=compiled.cs.summary(),
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _decode(
+        self, compiled: CompiledQuery, rows: list[list[int]]
+    ) -> list[list[Any]]:
+        from repro.db.types import int_to_date, int_to_decimal
+
+        decoded = []
+        for row in rows:
+            out = []
+            for meta, value in zip(compiled.outputs, row):
+                if meta.kind == "decimal":
+                    out.append(int_to_decimal(value, meta.scale))
+                elif meta.kind == "date":
+                    out.append(int_to_date(value))
+                elif meta.kind == "string" and meta.source:
+                    out.append(
+                        self.db.encoder._rev.get(meta.source, {}).get(
+                            value, value
+                        )
+                    )
+                else:
+                    out.append(value)
+            decoded.append(out)
+        return decoded

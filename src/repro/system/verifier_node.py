@@ -1,0 +1,124 @@
+"""The verifier: checks query responses against the database commitment.
+
+Workflow (paper Figure 2, phase 5) plus the binding checks:
+
+1. Recompile the query circuit from public metadata only and
+   regenerate the verifying key (deterministic keygen -- no trust in
+   prover-supplied keys).
+2. Check every scan link: the proof's advice commitment for a scanned
+   column must equal the published database column commitment shifted
+   by ``delta * W`` -- binding the proof to the committed database.
+3. Verify the proof against the claimed result (instance columns).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.algebra.field import Field, SCALAR_FIELD
+from repro.commit.params import PublicParams
+from repro.db.commitment import DatabaseCommitment
+from repro.plonkish.assignment import Assignment
+from repro.proving.keygen import finalize_fixed, keygen
+from repro.proving.recursion import Accumulator
+from repro.proving.verifier import verify_proof
+from repro.sql.compiler import QueryCompiler
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+from repro.system.metadata import PublicMetadata, shell_database
+from repro.system.prover_node import QueryResponse
+
+
+@dataclass
+class VerificationReport:
+    accepted: bool
+    reason: str = ""
+    elapsed_seconds: float = 0.0
+    proof_size_bytes: int = 0
+
+
+class VerifierNode:
+    """A client / verifier V holding only public information."""
+
+    def __init__(
+        self,
+        params: PublicParams,
+        metadata: PublicMetadata,
+        commitment: DatabaseCommitment,
+        field_: Field = SCALAR_FIELD,
+    ):
+        self.params = (
+            params.truncated(metadata.k) if params.k > metadata.k else params
+        )
+        self.metadata = metadata
+        self.commitment = commitment
+        self.field = field_
+        self._shell = shell_database(metadata)
+        self._planner = Planner(self._shell)
+
+    def verify(
+        self,
+        response: QueryResponse,
+        accumulator: Accumulator | None = None,
+    ) -> VerificationReport:
+        t0 = time.perf_counter()
+        try:
+            query = parse(response.sql)
+            plan = self._planner.plan(query)
+            compiled = QueryCompiler(
+                self._shell,
+                self.metadata.k,
+                self.metadata.limb_bits,
+                self.metadata.value_bits,
+                self.metadata.key_bits,
+            ).compile(plan)
+        except Exception as exc:  # malformed query == reject
+            return VerificationReport(False, f"recompilation failed: {exc}")
+
+        # Structural cross-checks before any crypto.
+        if len(compiled.scan_links) != len(response.scan_links):
+            return VerificationReport(False, "scan link count mismatch")
+        if compiled.limit is not None and len(
+            response.result_encoded
+        ) > compiled.limit:
+            return VerificationReport(False, "result exceeds LIMIT")
+        if len(response.result_encoded) > compiled.usable_rows:
+            return VerificationReport(False, "result exceeds circuit capacity")
+
+        # Scan links: advice commitment == db column commitment + delta*W.
+        expected_links = {
+            (l.advice_index, l.table, l.column) for l in compiled.scan_links
+        }
+        for link in response.scan_links:
+            if (link.advice_index, link.table, link.column) not in expected_links:
+                return VerificationReport(False, "unexpected scan link")
+            if link.advice_index >= len(response.proof.advice_commitments):
+                return VerificationReport(False, "scan link out of range")
+            db_commit = self.commitment.column_commitments.get(
+                (link.table, link.column)
+            )
+            if db_commit is None:
+                return VerificationReport(False, "column not in commitment")
+            advice_commit = response.proof.advice_commitments[link.advice_index]
+            if advice_commit != db_commit + self.params.w * link.delta:
+                return VerificationReport(
+                    False,
+                    f"scan link broken for {link.table}.{link.column}: the "
+                    "proof was not computed over the committed database",
+                )
+
+        # Regenerate the verifying key from public fixed columns.
+        asg = Assignment(compiled.cs, self.field, self.metadata.k)
+        compiled.assign_public(asg, len(response.result_encoded))
+        pk = keygen(self.params, compiled.cs, self.field, self.metadata.k)
+        finalize_fixed(pk, asg)
+
+        instance = compiled.instance_vectors(response.result_encoded)
+        ok = verify_proof(pk.vk, response.proof, instance, accumulator)
+        elapsed = time.perf_counter() - t0
+        if not ok:
+            return VerificationReport(
+                False, "proof rejected", elapsed, response.proof_size_bytes
+            )
+        return VerificationReport(True, "", elapsed, response.proof_size_bytes)

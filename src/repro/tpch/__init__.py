@@ -1,0 +1,14 @@
+"""TPC-H workload (paper section 5.1).
+
+A deterministic, seedable data generator for all 8 TPC-H tables, scaled
+by the lineitem row count exactly as the paper scales its experiments
+(60k / 120k / 240k lineitem rows, dimension tables proportional), plus
+the six evaluation queries Q1, Q3, Q5, Q8, Q9, Q18 adapted the same way
+the paper adapts them (fixed-point integers, no string pattern
+matching, flattened subqueries).
+"""
+
+from repro.tpch.datagen import generate, scale_for_lineitem_rows
+from repro.tpch.queries import QUERIES, query
+
+__all__ = ["generate", "scale_for_lineitem_rows", "QUERIES", "query"]

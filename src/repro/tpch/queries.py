@@ -1,0 +1,133 @@
+"""The six TPC-H evaluation queries (paper section 5.1).
+
+Adaptations mirror the paper's (and ZKSQL's) evaluation setup:
+
+- all decimals are 64-bit fixed-point integers (scale 100),
+- Q9's string pattern-matching predicate (``p_name like '%green%'``) is
+  excluded, "similar to ZKSQL's approach",
+- nested subqueries (Q8, Q18) are flattened into the equivalent
+  GROUP BY / HAVING form,
+- the compound partsupp key joins through the packed ``ps_pskey``.
+"""
+
+Q1 = """
+select
+    l_returnflag,
+    l_linestatus,
+    sum(l_quantity) as sum_qty,
+    sum(l_extendedprice) as sum_base_price,
+    sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+    sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+    avg(l_quantity) as avg_qty,
+    avg(l_extendedprice) as avg_price,
+    avg(l_discount) as avg_disc,
+    count(*) as count_order
+from lineitem
+where l_shipdate <= date '1998-12-01' - interval '90' day
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus
+"""
+
+Q3 = """
+select
+    l_orderkey,
+    sum(l_extendedprice * (1 - l_discount)) as revenue,
+    o_orderdate,
+    o_shippriority
+from customer, orders, lineitem
+where c_mktsegment = 'BUILDING'
+  and c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and o_orderdate < date '1995-03-15'
+  and l_shipdate > date '1995-03-15'
+group by l_orderkey, o_orderdate, o_shippriority
+order by revenue desc, o_orderdate
+limit 10
+"""
+
+Q5 = """
+select
+    n_name,
+    sum(l_extendedprice * (1 - l_discount)) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and l_suppkey = s_suppkey
+  and c_nationkey = s_nationkey
+  and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and r_name = 'ASIA'
+  and o_orderdate >= date '1994-01-01'
+  and o_orderdate < date '1994-01-01' + interval '1' year
+group by n_name
+order by revenue desc
+"""
+
+Q8 = """
+select
+    extract(year from o_orderdate) as o_year,
+    sum(case when n2.n_name = 'BRAZIL'
+             then l_extendedprice * (1 - l_discount) else 0 end)
+      / sum(l_extendedprice * (1 - l_discount)) as mkt_share
+from part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+where p_partkey = l_partkey
+  and s_suppkey = l_suppkey
+  and l_orderkey = o_orderkey
+  and o_custkey = c_custkey
+  and c_nationkey = n1.n_nationkey
+  and n1.n_regionkey = r_regionkey
+  and r_name = 'AMERICA'
+  and s_nationkey = n2.n_nationkey
+  and o_orderdate between date '1995-01-01' and date '1996-12-31'
+  and p_type = 'ECONOMY ANODIZED STEEL'
+group by o_year
+order by o_year
+"""
+
+Q9 = """
+select
+    n_name,
+    extract(year from o_orderdate) as o_year,
+    sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity)
+        as sum_profit
+from lineitem, supplier, partsupp, part, orders, nation
+where s_suppkey = l_suppkey
+  and ps_pskey = l_pskey
+  and p_partkey = l_partkey
+  and o_orderkey = l_orderkey
+  and s_nationkey = n_nationkey
+group by n_name, o_year
+order by n_name, o_year desc
+"""
+
+Q18 = """
+select
+    c_custkey,
+    o_orderkey,
+    o_orderdate,
+    o_totalprice,
+    sum(l_quantity) as total_qty
+from customer, orders, lineitem
+where c_custkey = o_custkey
+  and o_orderkey = l_orderkey
+group by c_custkey, o_orderkey, o_orderdate, o_totalprice
+having sum(l_quantity) > 300
+order by o_totalprice desc, o_orderdate
+limit 100
+"""
+
+QUERIES: dict[str, str] = {
+    "Q1": Q1,
+    "Q3": Q3,
+    "Q5": Q5,
+    "Q8": Q8,
+    "Q9": Q9,
+    "Q18": Q18,
+}
+
+
+def query(name: str) -> str:
+    """Fetch a query by its paper identifier (Q1, Q3, Q5, Q8, Q9, Q18)."""
+    if name not in QUERIES:
+        raise KeyError(f"unknown query {name!r}; have {sorted(QUERIES)}")
+    return QUERIES[name]

@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+Cryptographic tests run at deliberately small sizes (k = 4..6): the
+protocol logic is size-independent, and pure-Python group arithmetic
+makes large instances slow.  Session-scoped fixtures share the
+expensive public-parameter generation across tests.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import SCALAR_FIELD
+from repro.commit import setup
+
+
+@pytest.fixture(scope="session")
+def field():
+    return SCALAR_FIELD
+
+
+@pytest.fixture(scope="session")
+def params_k6():
+    """Shared IPA public parameters supporting circuits up to 2^6 rows."""
+    return setup(6)
+
+
+@pytest.fixture(scope="session")
+def params_k9():
+    """Larger parameters for gate circuits that need a 256-entry u8 table."""
+    return setup(9)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,194 @@
+"""IPA polynomial commitment: hiding/binding behaviour, open/verify,
+proof sizes, and the deferred (accumulated) verification path."""
+
+import pytest
+
+from repro.algebra import Polynomial, SCALAR_FIELD
+from repro.commit import (
+    commit_polynomial,
+    open_polynomial,
+    pedersen_commit,
+    setup,
+    verify_opening,
+)
+from repro.commit.ipa import reduce_opening
+from repro.proving.recursion import Accumulator
+from repro.transcript import Transcript
+
+F = SCALAR_FIELD
+
+
+def _open_and_verify(params, coeffs, x, tamper=None):
+    blind = F.rand()
+    commitment = commit_polynomial(params, coeffs, blind)
+    value = Polynomial(F, coeffs).evaluate(x)
+    tp = Transcript(b"t")
+    tp.absorb_point(b"c", commitment)
+    tp.absorb_scalar(b"x", x)
+    tp.absorb_scalar(b"v", value)
+    proof = open_polynomial(params, tp, coeffs, blind, x, F)
+    if tamper:
+        commitment, x, value, proof = tamper(commitment, x, value, proof)
+    tv = Transcript(b"t")
+    tv.absorb_point(b"c", commitment)
+    tv.absorb_scalar(b"x", x)
+    tv.absorb_scalar(b"v", value)
+    return verify_opening(params, tv, commitment, x, value, proof, F)
+
+
+class TestPublicParams:
+    def test_setup_deterministic(self):
+        a, b = setup(3), setup(3)
+        assert a.g == b.g and a.w == b.w and a.u == b.u
+
+    def test_label_separation(self):
+        assert setup(2).g[0] != setup(2, label=b"other").g[0]
+
+    def test_truncation(self, params_k6):
+        small = params_k6.truncated(4)
+        assert small.n == 16
+        assert small.g == params_k6.g[:16]
+        with pytest.raises(ValueError):
+            params_k6.truncated(7)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            setup(0)
+
+
+class TestPedersen:
+    def test_homomorphic(self, params_k6, rng):
+        v1 = [rng.randrange(F.p) for _ in range(8)]
+        v2 = [rng.randrange(F.p) for _ in range(8)]
+        r1, r2 = F.rand(), F.rand()
+        c1 = pedersen_commit(params_k6, v1, r1)
+        c2 = pedersen_commit(params_k6, v2, r2)
+        summed = pedersen_commit(
+            params_k6, [(a + b) % F.p for a, b in zip(v1, v2)], (r1 + r2) % F.p
+        )
+        assert c1 + c2 == summed
+
+    def test_hiding_blind_changes_commitment(self, params_k6):
+        values = [1, 2, 3]
+        assert pedersen_commit(params_k6, values, 1) != pedersen_commit(
+            params_k6, values, 2
+        )
+
+    def test_oversized_vector_rejected(self, params_k6):
+        with pytest.raises(ValueError):
+            pedersen_commit(params_k6, [1] * 65, 0)
+
+
+class TestIpaOpening:
+    def test_roundtrip(self, params_k6, rng):
+        coeffs = [rng.randrange(F.p) for _ in range(50)]
+        assert _open_and_verify(params_k6, coeffs, F.rand())
+
+    def test_opening_at_zero(self, params_k6, rng):
+        coeffs = [rng.randrange(F.p) for _ in range(10)]
+        assert _open_and_verify(params_k6, coeffs, 0)
+
+    def test_constant_polynomial(self, params_k6):
+        assert _open_and_verify(params_k6, [42], 7)
+
+    def test_wrong_value_rejected(self, params_k6, rng):
+        coeffs = [rng.randrange(F.p) for _ in range(20)]
+
+        def tamper(c, x, v, proof):
+            return c, x, (v + 1) % F.p, proof
+
+        assert not _open_and_verify(params_k6, coeffs, F.rand(), tamper)
+
+    def test_wrong_point_rejected(self, params_k6, rng):
+        coeffs = [rng.randrange(F.p) for _ in range(20)]
+
+        def tamper(c, x, v, proof):
+            return c, (x + 1) % F.p, v, proof
+
+        assert not _open_and_verify(params_k6, coeffs, F.rand(), tamper)
+
+    def test_tampered_round_rejected(self, params_k6, rng):
+        coeffs = [rng.randrange(F.p) for _ in range(20)]
+
+        def tamper(c, x, v, proof):
+            left, right = proof.rounds[0]
+            proof.rounds[0] = (left.double(), right)
+            return c, x, v, proof
+
+        assert not _open_and_verify(params_k6, coeffs, F.rand(), tamper)
+
+    def test_truncated_proof_rejected(self, params_k6, rng):
+        coeffs = [rng.randrange(F.p) for _ in range(20)]
+
+        def tamper(c, x, v, proof):
+            proof.rounds = proof.rounds[:-1]
+            return c, x, v, proof
+
+        assert not _open_and_verify(params_k6, coeffs, F.rand(), tamper)
+
+    def test_proof_size_is_logarithmic(self):
+        # 2 points per round, k rounds, plus 2 scalars.
+        for k in (2, 4):
+            params = setup(k)
+            coeffs = [3] * (1 << k)
+            blind = F.rand()
+            commitment = commit_polynomial(params, coeffs, blind)
+            tp = Transcript(b"t")
+            proof = open_polynomial(params, tp, coeffs, blind, 5, F)
+            assert len(proof.rounds) == k
+            assert proof.size_bytes() == 2 * k * 64 + 64
+
+    def test_proof_serialization(self, params_k6, rng):
+        coeffs = [rng.randrange(F.p) for _ in range(12)]
+        tp = Transcript(b"t")
+        proof = open_polynomial(params_k6, tp, coeffs, F.rand(), 5, F)
+        data = proof.to_bytes()
+        assert len(data) > 0
+        assert data == proof.to_bytes()  # deterministic
+
+
+class TestDeferredVerification:
+    def test_reduce_matches_verify(self, params_k6, rng):
+        coeffs = [rng.randrange(F.p) for _ in range(30)]
+        blind = F.rand()
+        commitment = commit_polynomial(params_k6, coeffs, blind)
+        x = F.rand()
+        value = Polynomial(F, coeffs).evaluate(x)
+        tp = Transcript(b"t")
+        proof = open_polynomial(params_k6, tp, coeffs, blind, x, F)
+        tv = Transcript(b"t")
+        reduced = reduce_opening(params_k6, tv, commitment, x, value, proof, F)
+        assert reduced is not None
+
+    def test_accumulator_batches_many_openings(self, params_k6, rng):
+        acc = Accumulator(params_k6, F)
+        for _ in range(3):
+            coeffs = [rng.randrange(F.p) for _ in range(30)]
+            blind = F.rand()
+            commitment = commit_polynomial(params_k6, coeffs, blind)
+            x = F.rand()
+            value = Polynomial(F, coeffs).evaluate(x)
+            tp = Transcript(b"t")
+            proof = open_polynomial(params_k6, tp, coeffs, blind, x, F)
+            tv = Transcript(b"t")
+            assert acc.defer_opening(params_k6, tv, commitment, x, value, proof, F)
+        assert acc.deferred_count == 3
+        assert acc.finalize()
+
+    def test_accumulator_catches_bad_proof(self, params_k6, rng):
+        acc = Accumulator(params_k6, F)
+        coeffs = [rng.randrange(F.p) for _ in range(30)]
+        blind = F.rand()
+        commitment = commit_polynomial(params_k6, coeffs, blind)
+        x = F.rand()
+        tp = Transcript(b"t")
+        proof = open_polynomial(params_k6, tp, coeffs, blind, x, F)
+        wrong_value = (Polynomial(F, coeffs).evaluate(x) + 1) % F.p
+        tv = Transcript(b"t")
+        assert acc.defer_opening(
+            params_k6, tv, commitment, x, wrong_value, proof, F
+        )  # structurally fine, deferred
+        assert not acc.finalize()  # but the combined check fails
+
+    def test_empty_accumulator_finalizes(self, params_k6):
+        assert Accumulator(params_k6, F).finalize()

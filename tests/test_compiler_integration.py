@@ -1,0 +1,195 @@
+"""Plan-to-circuit compiler: every operator shape produces a satisfied
+circuit whose result matches the plaintext executor, and tampered
+witnesses violate constraints."""
+
+import pytest
+
+from repro.algebra import SCALAR_FIELD as F
+from repro.db import ColumnDef, Database, TableSchema
+from repro.db.types import DATE, DECIMAL, INT, STRING
+from repro.plonkish import Assignment, MockProver
+from repro.sql.compiler import CompileError, QueryCompiler
+from repro.sql.executor import Executor
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+
+K = 9
+
+
+@pytest.fixture(scope="module")
+def db():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "customers",
+            [
+                ColumnDef("c_id", INT),
+                ColumnDef("c_name", STRING),
+                ColumnDef("c_age", INT),
+            ],
+            primary_key="c_id",
+        ),
+        [(1, "alice", 34), (2, "bob", 28), (3, "carol", 41), (4, "dave", 30)],
+    )
+    db.create_table(
+        TableSchema(
+            "orders",
+            [
+                ColumnDef("o_id", INT),
+                ColumnDef("o_cid", INT),
+                ColumnDef("o_amount", DECIMAL),
+                ColumnDef("o_date", DATE),
+            ],
+            primary_key="o_id",
+            foreign_keys={"o_cid": ("customers", "c_id")},
+        ),
+        [
+            (1, 1, 120.50, "1995-01-10"),
+            (2, 1, 30.25, "1995-02-11"),
+            (3, 2, 99.99, "1995-03-12"),
+            (4, 3, 12.00, "1996-01-05"),
+            (5, 7, 55.00, "1996-06-06"),
+        ],
+    )
+    return db
+
+
+def compile_and_check(db, sql, k=K):
+    plan = Planner(db).plan(parse(sql))
+    expected = Executor(db).execute(plan)
+    compiled = QueryCompiler(
+        db, k, limb_bits=4, value_bits=32, key_bits=40
+    ).compile(plan)
+    asg = Assignment(compiled.cs, F, k)
+    result = compiled.assign_witness(asg, db)
+    MockProver(compiled.cs, asg, F).assert_satisfied()
+    exp_rows = [list(r.values()) for r in expected.rows()]
+    if compiled.limit is not None:
+        exp_rows = exp_rows[: compiled.limit]
+    return result, exp_rows, compiled, asg
+
+
+QUERIES = {
+    "projection": "select c_name, c_age from customers",
+    "filter_lt": "select c_id from customers where c_age < 31",
+    "filter_string": "select c_id from customers where c_name = 'carol'",
+    "filter_or": (
+        "select c_id from customers where c_age < 29 or c_age > 40"
+    ),
+    "filter_not": "select c_id from customers where not c_age >= 31",
+    "filter_between": (
+        "select o_id from orders where o_amount between 30 and 100"
+    ),
+    "filter_in": "select c_id from customers where c_age in (28, 41)",
+    "order_by": "select c_id, c_age from customers order by c_age desc",
+    "limit": "select c_id, c_age from customers order by c_age limit 2",
+    "group_sum": (
+        "select o_cid, sum(o_amount) as s from orders group by o_cid "
+        "order by o_cid"
+    ),
+    "group_avg_count": (
+        "select o_cid, avg(o_amount) as a, count(*) as n from orders "
+        "group by o_cid order by o_cid"
+    ),
+    "global_aggregate": "select sum(o_amount) as s, count(*) as n from orders",
+    "join": (
+        "select c_name, o_amount from orders, customers where o_cid = c_id"
+    ),
+    "join_filter_agg": (
+        "select c_name, sum(o_amount) as s from orders, customers "
+        "where o_cid = c_id and o_amount > 20 group by c_name "
+        "order by s desc"
+    ),
+    "derive_year": (
+        "select extract(year from o_date) as y, count(*) as n from orders "
+        "group by y order by y"
+    ),
+    "case_in_sum": (
+        "select sum(case when o_cid = 1 then o_amount else 0 end) as s "
+        "from orders"
+    ),
+    "having": (
+        "select o_cid, count(*) as n from orders group by o_cid "
+        "having count(*) > 1"
+    ),
+    "agg_division": (
+        "select sum(o_amount) / count(*) as ratio from orders group by o_cid "
+        "order by ratio desc limit 1"
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_operator_shapes(db, name):
+    result, expected, _, _ = compile_and_check(db, QUERIES[name])
+    if "order" in QUERIES[name]:
+        assert result == expected, name
+    else:
+        assert sorted(result) == sorted(expected), name
+
+
+class TestCompilerStructure:
+    def test_scan_links_cover_used_columns(self, db):
+        _, _, compiled, _ = compile_and_check(
+            db, "select c_id from customers where c_age < 31"
+        )
+        linked = {(l.table, l.column) for l in compiled.scan_links}
+        assert ("customers", "c_age") in linked
+        assert ("customers", "c_id") in linked
+
+    def test_public_assignment_matches_witness_fixed(self, db):
+        """The verifier's fixed-only assignment must reproduce the
+        prover's fixed columns exactly (otherwise keygen diverges)."""
+        sql = QUERIES["join_filter_agg"]
+        plan = Planner(db).plan(parse(sql))
+        compiled = QueryCompiler(
+            db, K, limb_bits=4, value_bits=32, key_bits=40
+        ).compile(plan)
+        asg_full = Assignment(compiled.cs, F, K)
+        result = compiled.assign_witness(asg_full, db)
+
+        plan2 = Planner(db).plan(parse(sql))
+        compiled2 = QueryCompiler(
+            db, K, limb_bits=4, value_bits=32, key_bits=40
+        ).compile(plan2)
+        asg_public = Assignment(compiled2.cs, F, K)
+        compiled2.assign_public(asg_public, len(result))
+        assert asg_full.fixed == asg_public.fixed
+
+    def test_instance_vectors_layout(self, db):
+        result, _, compiled, _ = compile_and_check(db, QUERIES["group_sum"])
+        vectors = compiled.instance_vectors(result)
+        assert len(vectors) == len(compiled.outputs)
+        for j, vec in enumerate(vectors):
+            assert vec[: len(result)] == [row[j] for row in result]
+            assert all(v == 0 for v in vec[len(result):])
+
+    def test_tampered_result_breaks_binding(self, db):
+        _, _, compiled, asg = compile_and_check(db, QUERIES["group_sum"])
+        inst_col = compiled.instance_columns[1]
+        asg.assign(inst_col, 0, asg.value(inst_col, 0) + 1)
+        failures = MockProver(compiled.cs, asg, F).verify()
+        assert any("result_binding" in f.name for f in failures)
+
+    def test_table_too_big_rejected(self):
+        big = Database()
+        big.create_table(
+            TableSchema("wide", [ColumnDef("w_id", INT)], primary_key="w_id"),
+            [(i + 1,) for i in range(30)],
+        )
+        plan = Planner(big).plan(parse("select w_id from wide"))
+        with pytest.raises(CompileError, match="capacity"):
+            QueryCompiler(big, 4, limb_bits=2).compile(plan)
+
+    def test_k_too_small_for_table(self, db):
+        with pytest.raises(CompileError):
+            QueryCompiler(db, 5, limb_bits=8).compile(
+                Planner(db).plan(parse("select c_id from customers"))
+            )
+
+    def test_unsupported_aggregate_explains(self, db):
+        plan = Planner(db).plan(
+            parse("select min(o_amount) as m from orders group by o_cid")
+        )
+        with pytest.raises(CompileError, match="standalone"):
+            QueryCompiler(db, K, limb_bits=4).compile(plan)

@@ -1,0 +1,146 @@
+"""Database substrate: types, encoding, tables, commitment + audit."""
+
+import datetime
+
+import pytest
+
+from repro.algebra import SCALAR_FIELD as F
+from repro.commit import setup
+from repro.db import ColumnDef, Database, TableSchema
+from repro.db.commitment import audit_commitment, commit_database, padded_column
+from repro.db.encoding import Encoder, VALUE_BOUND
+from repro.db.types import (
+    DATE,
+    DECIMAL,
+    INT,
+    STRING,
+    date_to_int,
+    decimal_to_int,
+    int_to_date,
+    int_to_decimal,
+)
+
+
+class TestTypes:
+    def test_date_roundtrip(self):
+        for iso in ("1992-01-01", "1998-08-02", "2026-07-06"):
+            assert int_to_date(date_to_int(iso)).isoformat() == iso
+
+    def test_date_ordering_preserved(self):
+        assert date_to_int("1995-03-15") < date_to_int("1995-03-16")
+
+    def test_pre_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            date_to_int("1969-12-31")
+
+    def test_decimal_roundtrip(self):
+        assert decimal_to_int(120.50) == 12050
+        assert int_to_decimal(12050) == 120.50
+        with pytest.raises(ValueError):
+            decimal_to_int(-1.5)
+
+
+class TestEncoder:
+    def test_string_dictionary_is_order_preserving(self):
+        enc = Encoder()
+        enc.build_dictionary("t.c", ["pear", "apple", "fig"])
+        codes = [enc.encode("t.c", STRING, s) for s in ("apple", "fig", "pear")]
+        assert codes == sorted(codes)
+        assert min(codes) >= 1  # zero reserved for padding
+        assert enc.decode("t.c", STRING, codes[0]) == "apple"
+
+    def test_unknown_string_raises(self):
+        enc = Encoder()
+        enc.build_dictionary("t.c", ["a"])
+        with pytest.raises(KeyError):
+            enc.encode("t.c", STRING, "zzz")
+
+    def test_literal_outside_dictionary_is_impossible_code(self):
+        enc = Encoder()
+        enc.build_dictionary("t.c", ["a"])
+        assert enc.decode_literal("t.c", "zzz") == VALUE_BOUND - 1
+
+    def test_out_of_range_rejected(self):
+        enc = Encoder()
+        with pytest.raises(ValueError):
+            enc.encode("t.c", INT, 1 << 63)
+
+
+class TestTable:
+    def test_schema_validation(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", [ColumnDef("a", INT), ColumnDef("a", INT)])
+        with pytest.raises(ValueError):
+            TableSchema("t", [ColumnDef("a", INT)], primary_key="b")
+        with pytest.raises(ValueError):
+            TableSchema("t", [ColumnDef("a", INT)],
+                        foreign_keys={"x": ("o", "k")})
+
+    def test_row_arity_checked(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            db.create_table(
+                TableSchema("t", [ColumnDef("a", INT)]), [(1, 2)]
+            )
+
+    def test_row_access(self):
+        db = Database()
+        t = db.create_table(
+            TableSchema("t", [ColumnDef("a", INT), ColumnDef("b", INT)]),
+            [(1, 2), (3, 4)],
+        )
+        assert t.row(1) == (3, 4)
+        assert list(t.iter_rows()) == [(1, 2), (3, 4)]
+        assert len(t) == 2
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table(TableSchema("t", [ColumnDef("a", INT)]), [(1,)])
+        with pytest.raises(ValueError):
+            db.create_table(TableSchema("t", [ColumnDef("a", INT)]), [(1,)])
+
+
+class TestCommitment:
+    @pytest.fixture()
+    def small_db(self):
+        db = Database()
+        db.create_table(
+            TableSchema("t", [ColumnDef("a", INT), ColumnDef("b", DECIMAL)]),
+            [(1, 1.5), (2, 2.5), (3, 3.5)],
+        )
+        return db
+
+    def test_commit_and_audit(self, small_db, params_k6):
+        commitment, secrets = commit_database(small_db, params_k6, 5)
+        assert len(commitment.column_commitments) == 2
+        assert audit_commitment(small_db, commitment, secrets, params_k6)
+
+    def test_audit_detects_swapped_database(self, small_db, params_k6):
+        commitment, secrets = commit_database(small_db, params_k6, 5)
+        other = Database()
+        other.create_table(
+            TableSchema("t", [ColumnDef("a", INT), ColumnDef("b", DECIMAL)]),
+            [(9, 1.5), (2, 2.5), (3, 3.5)],  # one cell differs
+        )
+        assert not audit_commitment(other, commitment, secrets, params_k6)
+
+    def test_commitment_hiding(self, small_db, params_k6):
+        c1, _ = commit_database(small_db, params_k6, 5)
+        c2, _ = commit_database(small_db, params_k6, 5)
+        # Fresh blinding every time: same data, different commitments.
+        assert c1.root != c2.root
+
+    def test_padded_column_shape(self):
+        tail = [11, 22, 33, 44]
+        vec = padded_column([1, 2], 4, tail)
+        assert len(vec) == 16
+        assert vec[:2] == [1, 2]
+        assert vec[-4:] == tail
+        with pytest.raises(ValueError):
+            padded_column([1] * 14, 4, tail)  # too long for usable rows
+        with pytest.raises(ValueError):
+            padded_column([1], 4, [1, 2])  # wrong tail length
+
+    def test_oversized_k_rejected(self, small_db, params_k6):
+        with pytest.raises(ValueError):
+            commit_database(small_db, params_k6, 9)

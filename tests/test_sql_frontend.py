@@ -1,0 +1,286 @@
+"""SQL lexer, parser, planner and plaintext executor."""
+
+import pytest
+
+from repro.db import ColumnDef, Database, TableSchema
+from repro.db.types import DATE, DECIMAL, INT, STRING
+from repro.sql.ast import Agg, AggFunc, Between, BinOp, BinOpKind, ColRef, Literal
+from repro.sql.executor import ExecError, Executor
+from repro.sql.lexer import LexError, tokenize
+from repro.sql.parser import ParseError, parse
+from repro.sql.plan import AggregateNode, JoinNode, LimitNode, describe, walk
+from repro.sql.planner import PlanError, Planner
+
+
+@pytest.fixture()
+def db():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "customers",
+            [
+                ColumnDef("c_id", INT),
+                ColumnDef("c_name", STRING),
+                ColumnDef("c_age", INT),
+            ],
+            primary_key="c_id",
+        ),
+        [(1, "alice", 34), (2, "bob", 28), (3, "carol", 41), (4, "dave", 30)],
+    )
+    db.create_table(
+        TableSchema(
+            "orders",
+            [
+                ColumnDef("o_id", INT),
+                ColumnDef("o_cid", INT),
+                ColumnDef("o_amount", DECIMAL),
+                ColumnDef("o_date", DATE),
+            ],
+            primary_key="o_id",
+            foreign_keys={"o_cid": ("customers", "c_id")},
+        ),
+        [
+            (1, 1, 120.50, "1995-01-10"),
+            (2, 1, 30.25, "1995-02-11"),
+            (3, 2, 99.99, "1995-03-12"),
+            (4, 3, 12.00, "1996-01-05"),
+            (5, 7, 55.00, "1996-06-06"),
+        ],
+    )
+    return db
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("select a, b from t where x <= 1.5 -- comment\n")
+        texts = [t.text for t in tokens]
+        assert "select" in texts and "<=" in texts and "1.5" in texts
+        assert "comment" not in texts
+
+    def test_string_and_date(self):
+        tokens = tokenize("where s = 'BUILDING' and d < date '1995-03-15'")
+        strings = [t.text for t in tokens if t.kind.value == "string"]
+        assert strings == ["BUILDING", "1995-03-15"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("select 'oops")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("select a ? b")
+
+    def test_ne_variants(self):
+        assert [t.text for t in tokenize("a <> b")][1] == "<>"
+        assert [t.text for t in tokenize("a != b")][1] == "<>"
+
+
+class TestParser:
+    def test_select_structure(self):
+        q = parse("select a, sum(b) as total from t group by a "
+                  "having sum(b) > 10 order by total desc limit 5")
+        assert len(q.select) == 2
+        assert q.select[1].alias == "total"
+        assert isinstance(q.having, BinOp)
+        assert q.order_by[0].descending
+        assert q.limit == 5
+
+    def test_interval_folding(self):
+        q = parse("select a from t where d <= date '1998-12-01' - interval '90' day")
+        lit = q.where.right
+        assert isinstance(lit, Literal) and lit.kind == "date"
+        assert lit.value == "1998-09-02"
+
+    def test_interval_year_and_month(self):
+        q = parse("select a from t where d < date '1994-01-01' + interval '1' year")
+        assert q.where.right.value == "1995-01-01"
+        q = parse("select a from t where d < date '1994-11-15' + interval '3' month")
+        assert q.where.right.value == "1995-02-15"
+
+    def test_between_and_in(self):
+        q = parse("select a from t where x between 1 and 5 and y in (1, 2)")
+        assert isinstance(q.where.terms[0], Between)
+
+    def test_case_expression(self):
+        q = parse("select sum(case when n = 'X' then v else 0 end) from t")
+        agg = q.select[0].expr
+        assert isinstance(agg, Agg) and agg.func is AggFunc.SUM
+
+    def test_extract_year(self):
+        q = parse("select extract(year from d) as y from t")
+        assert q.select[0].alias == "y"
+
+    def test_operator_precedence(self):
+        q = parse("select a + b * c from t")
+        expr = q.select[0].expr
+        assert expr.op is BinOpKind.ADD
+        assert expr.right.op is BinOpKind.MUL
+
+    def test_unary_minus(self):
+        q = parse("select a from t where x > -5")
+        assert q.where.right == Literal(-5, "int")
+
+    def test_like_rejected(self):
+        with pytest.raises(ParseError, match="LIKE"):
+            parse("select a from t where s like '%x%'")
+
+    def test_count_star_only(self):
+        with pytest.raises(ParseError):
+            parse("select sum(*) from t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("select a from t zzz qqq")
+
+    def test_table_aliases(self):
+        q = parse("select n1.name from nation n1, nation as n2")
+        assert q.tables[0].binding == "n1"
+        assert q.tables[1].binding == "n2"
+
+
+class TestPlanner:
+    def test_join_orientation(self, db):
+        plan = Planner(db).plan(
+            parse("select c_name from orders, customers where o_cid = c_id")
+        )
+        joins = [n for n in walk(plan) if isinstance(n, JoinNode)]
+        assert len(joins) == 1
+        assert joins[0].fk_column == "orders.o_cid"
+        assert joins[0].pk_column == "customers.c_id"
+
+    def test_unknown_table(self, db):
+        with pytest.raises(PlanError):
+            Planner(db).plan(parse("select a from nope"))
+
+    def test_unknown_column_fails_at_execution(self, db):
+        # Unresolvable plain columns survive planning (they might be
+        # HAVING/ORDER BY aliases) and fail at evaluation time.
+        plan = Planner(db).plan(parse("select c_missing from customers"))
+        with pytest.raises(ExecError):
+            Executor(db).execute(plan)
+
+    def test_ambiguous_column(self, db):
+        db.create_table(
+            TableSchema("c2", [ColumnDef("c_age", INT)]), [(5,)]
+        )
+        with pytest.raises(PlanError, match="ambiguous"):
+            Planner(db).plan(
+                parse("select c_age from customers, c2 where c_id = c_age")
+            )
+
+    def test_cross_join_rejected(self, db):
+        with pytest.raises(PlanError):
+            Planner(db).plan(parse("select c_name from customers, orders"))
+
+    def test_describe_renders(self, db):
+        plan = Planner(db).plan(
+            parse("select o_cid, sum(o_amount) as s from orders group by o_cid")
+        )
+        text = describe(plan)
+        assert "Aggregate" in text and "Scan(orders" in text
+
+    def test_limit_node(self, db):
+        plan = Planner(db).plan(parse("select c_name from customers limit 2"))
+        assert isinstance(plan, LimitNode) and plan.count == 2
+
+    def test_scale_inference_on_outputs(self, db):
+        plan = Planner(db).plan(
+            parse("select sum(o_amount) as s, avg(o_amount) as a, "
+                  "count(*) as c from orders group by o_cid")
+        )
+        out = {c.name: c.scale for c in plan.outputs}
+        assert out["s"] == 100       # decimal scale carried through SUM
+        assert out["a"] == 100 * 100  # AVG adds a factor of 100
+        assert out["c"] == 1
+
+
+class TestExecutor:
+    def run(self, db, sql):
+        plan = Planner(db).plan(parse(sql))
+        return Executor(db).execute(plan), plan
+
+    def test_filter_comparisons(self, db):
+        rel, _ = self.run(db, "select c_id from customers where c_age >= 30")
+        assert sorted(rel.columns["customers.c_id"]) == [1, 3, 4]
+
+    def test_string_predicate(self, db):
+        rel, _ = self.run(db, "select c_id from customers where c_name = 'bob'")
+        assert rel.columns["customers.c_id"] == [2]
+
+    def test_unknown_string_literal_matches_nothing(self, db):
+        rel, _ = self.run(
+            db, "select c_id from customers where c_name = 'nobody'"
+        )
+        assert rel.num_rows == 0
+
+    def test_join_drops_orphans(self, db):
+        rel, _ = self.run(
+            db,
+            "select c_name, o_amount from orders, customers where o_cid = c_id",
+        )
+        assert rel.num_rows == 4  # order 5 references a missing customer
+
+    def test_aggregates_fixed_point(self, db):
+        rel, _ = self.run(
+            db,
+            "select o_cid, sum(o_amount) as s, avg(o_amount) as a, "
+            "count(*) as n from orders group by o_cid order by o_cid",
+        )
+        # customer 1: 120.50 + 30.25 = 150.75 -> 15075 at scale 100
+        assert rel.columns["s"][0] == 15075
+        assert rel.columns["n"][0] == 2
+        # avg = floor(15075 * 100 / 2) = 753750 at scale 10000
+        assert rel.columns["a"][0] == 753750
+
+    def test_order_and_limit(self, db):
+        rel, _ = self.run(
+            db,
+            "select o_id, o_amount from orders order by o_amount desc limit 2",
+        )
+        assert rel.columns["orders.o_id"] == [1, 3]
+
+    def test_between_dates(self, db):
+        rel, _ = self.run(
+            db,
+            "select o_id from orders where o_date between "
+            "date '1995-01-01' and date '1995-12-31'",
+        )
+        assert sorted(rel.columns["orders.o_id"]) == [1, 2, 3]
+
+    def test_division_semantics(self, db):
+        rel, _ = self.run(
+            db,
+            "select sum(o_amount) / count(*) as ratio from orders group by o_cid "
+            "order by ratio desc limit 1",
+        )
+        # customer 2: 99.99 / 1 -> scale 100 result 9999
+        assert rel.columns["ratio"][0] == 9999
+
+    def test_case_expression(self, db):
+        rel, _ = self.run(
+            db,
+            "select sum(case when o_cid = 1 then o_amount else 0 end) as s "
+            "from orders group by o_cid order by s desc limit 1",
+        )
+        assert rel.columns["s"][0] == 15075
+
+    def test_extract_year(self, db):
+        rel, _ = self.run(
+            db,
+            "select extract(year from o_date) as y, count(*) as n "
+            "from orders group by y order by y",
+        )
+        assert rel.columns["y"] == [1995, 1996]
+        assert rel.columns["n"] == [3, 2]
+
+    def test_having(self, db):
+        rel, _ = self.run(
+            db,
+            "select o_cid, count(*) as n from orders group by o_cid "
+            "having count(*) > 1",
+        )
+        assert rel.columns["orders.o_cid"] == [1]
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(ExecError):
+            self.run(db, "select o_amount / (o_id - o_id) from orders")

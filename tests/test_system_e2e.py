@@ -1,0 +1,181 @@
+"""End-to-end system tests: commitment, audit, real proofs, scan-link
+binding, and every rejection path a malicious prover could hit.
+
+These run the full cryptographic pipeline at k=7, so they are the
+slowest tests in the suite; the shared module fixture amortizes setup.
+"""
+
+import copy
+
+import pytest
+
+from repro.algebra import SCALAR_FIELD as F
+from repro.commit import setup
+from repro.db import ColumnDef, Database, TableSchema
+from repro.db.types import INT, STRING
+from repro.proving.recursion import Accumulator
+from repro.system import ProverNode, VerifierNode, audit
+
+K = 7
+SQL = (
+    "select a_region, sum(a_balance) as total, count(*) as cnt "
+    "from accounts where a_balance >= 75 group by a_region "
+    "order by total desc"
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "accounts",
+            [
+                ColumnDef("a_id", INT),
+                ColumnDef("a_region", STRING),
+                ColumnDef("a_balance", INT),
+            ],
+            primary_key="a_id",
+        ),
+        [
+            (1, "west", 500),
+            (2, "east", 120),
+            (3, "west", 75),
+            (4, "east", 310),
+            (5, "west", 45),
+        ],
+    )
+    params = setup(K)
+    prover = ProverNode(db, params, K, limb_bits=4, value_bits=24, key_bits=16)
+    commitment = prover.publish_commitment()
+    verifier = VerifierNode(params, prover.public_metadata(), commitment)
+    response = prover.answer(SQL)
+    return db, params, prover, verifier, commitment, response
+
+
+class TestHappyPath:
+    def test_result_decoded(self, system):
+        *_, response = system
+        assert response.result == [["west", 575, 2], ["east", 430, 2]]
+        assert response.column_names == ["accounts.a_region", "total", "cnt"]
+
+    def test_proof_accepted(self, system):
+        _, _, _, verifier, _, response = system
+        report = verifier.verify(response)
+        assert report.accepted, report.reason
+        assert report.proof_size_bytes == response.proof_size_bytes
+
+    def test_accumulated_verification(self, system):
+        _, _, _, verifier, _, response = system
+        acc = Accumulator(verifier.params, F)
+        assert verifier.verify(response, accumulator=acc).accepted
+        assert acc.deferred_count >= 1
+        assert acc.finalize()
+
+    def test_audit(self, system):
+        db, params, prover, *_ = system
+        cert = audit(db, prover.commitment, prover._secrets, params)
+        assert cert.valid
+
+    def test_timing_recorded(self, system):
+        *_, response = system
+        assert response.timing.total > 0
+        assert response.timing.commit_advice > 0
+
+    def test_answer_requires_commitment(self, system):
+        db, params, *_ = system
+        fresh = ProverNode(db, params, K)
+        with pytest.raises(RuntimeError):
+            fresh.answer(SQL)
+
+
+class TestRejections:
+    def test_tampered_result_value(self, system):
+        _, _, _, verifier, _, response = system
+        bad = copy.deepcopy(response)
+        bad.result_encoded[0][1] += 1
+        assert not verifier.verify(bad).accepted
+
+    def test_dropped_result_row(self, system):
+        _, _, _, verifier, _, response = system
+        bad = copy.deepcopy(response)
+        bad.result_encoded.pop()
+        assert not verifier.verify(bad).accepted
+
+    def test_extra_result_row(self, system):
+        _, _, _, verifier, _, response = system
+        bad = copy.deepcopy(response)
+        bad.result_encoded.append([1, 1, 1])
+        assert not verifier.verify(bad).accepted
+
+    def test_wrong_query_text(self, system):
+        _, _, _, verifier, _, response = system
+        bad = copy.deepcopy(response)
+        bad.sql = SQL.replace(">= 75", ">= 100")
+        assert not verifier.verify(bad).accepted
+
+    def test_tampered_scan_delta(self, system):
+        _, _, _, verifier, _, response = system
+        bad = copy.deepcopy(response)
+        bad.scan_links[0].delta += 1
+        report = verifier.verify(bad)
+        assert not report.accepted
+        assert "committed database" in report.reason or "scan" in report.reason
+
+    def test_proof_over_different_database(self, system):
+        """A prover with a *different* database cannot pass the
+        scan-link check against the published commitment."""
+        db, params, _, verifier, _, _ = system
+        other = Database()
+        other.create_table(
+            TableSchema(
+                "accounts",
+                [
+                    ColumnDef("a_id", INT),
+                    ColumnDef("a_region", STRING),
+                    ColumnDef("a_balance", INT),
+                ],
+                primary_key="a_id",
+            ),
+            [
+                (1, "west", 999),  # inflated balance
+                (2, "east", 120),
+                (3, "west", 75),
+                (4, "east", 310),
+                (5, "west", 45),
+            ],
+        )
+        rogue = ProverNode(other, params, K, limb_bits=4, value_bits=24,
+                           key_bits=16)
+        rogue.publish_commitment()  # its own commitment, not the published one
+        response = rogue.answer(SQL)
+        report = verifier.verify(response)  # against the ORIGINAL commitment
+        assert not report.accepted
+
+    def test_malformed_sql_rejected(self, system):
+        _, _, _, verifier, _, response = system
+        bad = copy.deepcopy(response)
+        bad.sql = "select ??? from"
+        report = verifier.verify(bad)
+        assert not report.accepted
+        assert "recompilation" in report.reason
+
+    def test_audit_rejects_modified_database(self, system):
+        db, params, prover, *_ = system
+        other = Database()
+        other.create_table(
+            TableSchema(
+                "accounts",
+                [
+                    ColumnDef("a_id", INT),
+                    ColumnDef("a_region", STRING),
+                    ColumnDef("a_balance", INT),
+                ],
+                primary_key="a_id",
+            ),
+            [(1, "west", 1)] + [
+                (i, "east", 2) for i in range(2, 6)
+            ],
+        )
+        cert = audit(other, prover.commitment, prover._secrets, params)
+        assert not cert.valid
