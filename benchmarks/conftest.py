@@ -3,12 +3,17 @@
 All benchmarks run real cryptography at the reduced scale defined by
 :class:`repro.bench.BenchConfig` and extrapolate to paper scale with
 the calibrated cost model (see DESIGN.md, substitutions).
+
+Public parameters, proving keys, and the TPC-H database load through
+the on-disk artifact cache, so the second run of any benchmark skips
+regeneration (reports print the HIT/MISS trace).  Set
+``REPRO_BENCH_WORKERS=N`` to route the crypto through the parallel
+backend, ``REPRO_NO_CACHE=1`` to force cold runs.
 """
 
 import pytest
 
-from repro.bench import BenchConfig, build_tpch_system
-from repro.commit import setup
+from repro.bench import BenchConfig, bench_cache, bench_params, build_tpch_system
 
 
 @pytest.fixture(scope="session")
@@ -17,8 +22,13 @@ def bench_config():
 
 
 @pytest.fixture(scope="session")
-def bench_params(bench_config):
-    return setup(bench_config.k)
+def artifact_cache(bench_config):
+    return bench_cache(bench_config)
+
+
+@pytest.fixture(scope="session", name="bench_params")
+def bench_params_fixture(bench_config):
+    return bench_params(bench_config)
 
 
 @pytest.fixture(scope="session")

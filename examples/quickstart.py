@@ -1,10 +1,13 @@
 """Quickstart: prove and verify a SQL query over a private database.
 
 Runs the complete PoneglyphDB workflow (paper Figure 2) end to end in
-about a minute on a laptop:
+about a minute on a laptop, through the `repro.PoneglyphDB` session
+facade:
 
-1. the data owner builds a private database and publishes its
-   cryptographic commitment,
+1. the data owner opens a session over a private database (public
+   parameters come from the on-disk artifact cache -- the second run
+   of this script skips their generation) and publishes the database
+   commitment,
 2. an auditor attests the commitment matches the authentic data,
 3. a client sends a SQL query; the owner answers with the result plus
    a non-interactive zero-knowledge proof,
@@ -12,14 +15,17 @@ about a minute on a laptop:
    seeing a single row of the database.
 
 Run:  python examples/quickstart.py
+
+Knobs (see ProverConfig): ``workers=N`` fans the crypto out over N
+processes with bit-identical results; ``use_cache=False`` forces cold
+parameter and key generation.
 """
 
 import time
 
-from repro.commit import setup
+from repro import PoneglyphDB, ProverConfig
 from repro.db import ColumnDef, Database, TableSchema
 from repro.db.types import DECIMAL, INT, STRING
-from repro.system import ProverNode, VerifierNode, audit
 
 # -- 1. the private database (hospital-style scenario from the paper) --
 db = Database()
@@ -46,46 +52,48 @@ db.create_table(
     ],
 )
 
-K = 7  # 128-row circuits: plenty for this demo
-print("generating public parameters (one-time, no trusted setup)...")
-params = setup(K)
+# 128-row circuits: plenty for this demo.  The reduced bit widths keep
+# the pure-Python range checks fast; the paper's full design is 8/64/48.
+config = ProverConfig(k=7, limb_bits=4, value_bits=24, key_bits=32)
 
-prover = ProverNode(db, params, K, limb_bits=4, value_bits=24, key_bits=32)
+print("opening session (public parameters via the artifact cache)...")
+with PoneglyphDB.open(db, config) as session:
+    if session.params_cache_hit:
+        print("  parameters loaded from cache")
 
-# -- 2. commit + audit -------------------------------------------------
-commitment = prover.publish_commitment()
-print(f"database committed; root = {commitment.root.hex()[:32]}...")
-certificate = audit(db, commitment, prover._secrets, params)
-assert certificate.valid
-print("auditor attests the commitment matches the authentic database")
+    # -- 2. commit + audit ----------------------------------------------
+    commitment = session.commit()
+    print(f"database committed; root = {commitment.root.hex()[:32]}...")
+    assert session.audit().valid
+    print("auditor attests the commitment matches the authentic database")
 
-# -- 3. the client's query ---------------------------------------------
-sql = (
-    "select p_region, count(*) as patients, avg(p_cost) as avg_cost "
-    "from patients where p_age >= 40 "
-    "group by p_region order by avg_cost desc"
-)
-print(f"\nclient query:\n  {sql}\n")
-t0 = time.time()
-response = prover.answer(sql)
-print(f"prover answered in {time.time() - t0:.1f}s "
-      f"(proof: {response.proof_size_bytes / 1024:.1f} KB)")
-print("result:")
-for row in response.result:
-    print("  ", dict(zip(response.column_names, row)))
+    # -- 3. the client's query ------------------------------------------
+    sql = (
+        "select p_region, count(*) as patients, avg(p_cost) as avg_cost "
+        "from patients where p_age >= 40 "
+        "group by p_region order by avg_cost desc"
+    )
+    print(f"\nclient query:\n  {sql}\n")
+    t0 = time.time()
+    response = session.prove(sql)
+    print(f"prover answered in {time.time() - t0:.1f}s "
+          f"(proof: {response.proof_size_bytes / 1024:.1f} KB)")
+    print("result:")
+    for row in response.result:
+        print("  ", dict(zip(response.column_names, row)))
 
-# -- 4. verification ----------------------------------------------------
-verifier = VerifierNode(params, prover.public_metadata(), commitment)
-t0 = time.time()
-report = verifier.verify(response)
-print(f"\nverifier checked the proof in {time.time() - t0:.1f}s -> "
-      f"{'ACCEPTED' if report.accepted else 'REJECTED: ' + report.reason}")
-assert report.accepted
+    # -- 4. verification -------------------------------------------------
+    t0 = time.time()
+    report = session.verify(response)
+    print(f"\nverifier checked the proof in {time.time() - t0:.1f}s -> "
+          f"{'ACCEPTED' if report.accepted else 'REJECTED: ' + report.reason}")
+    assert report.accepted
 
-# A tampered result is rejected.
-import copy
+    # A tampered result is rejected.
+    import copy
 
-forged = copy.deepcopy(response)
-forged.result_encoded[0][1] += 1  # inflate a count
-assert not verifier.verify(forged).accepted
-print("a forged result is rejected -- the answer is cryptographically bound")
+    forged = copy.deepcopy(response)
+    forged.result_encoded[0][1] += 1  # inflate a count
+    assert not session.verify(forged).accepted
+    print("a forged result is rejected -- the answer is cryptographically bound")
+    print(f"\nartifact cache this run: {session.cache_summary()}")

@@ -1,0 +1,25 @@
+"""PoneglyphDB reproduction: ZK proofs of SQL query execution.
+
+The top-level names are the session facade -- everything else lives in
+the subpackages (``repro.system`` for the explicit prover/verifier
+roles, ``repro.sql`` for the query pipeline, ``repro.proving`` for the
+proof system internals)::
+
+    from repro import PoneglyphDB, ProverConfig
+
+    with PoneglyphDB.open(db, ProverConfig(k=7)) as session:
+        response = session.prove("select count(*) from patients")
+        assert session.verify(response).accepted
+"""
+
+from repro.api import PoneglyphDB, Session
+from repro.cache import ArtifactCache, default_cache_dir
+from repro.config import ProverConfig
+
+__all__ = [
+    "PoneglyphDB",
+    "Session",
+    "ProverConfig",
+    "ArtifactCache",
+    "default_cache_dir",
+]

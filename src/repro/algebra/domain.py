@@ -11,7 +11,13 @@ All transforms operate in place on lists of raw ints.
 
 from __future__ import annotations
 
+from repro import parallel
 from repro.algebra.field import Field
+
+#: Batched transforms only fan out to workers when each vector is at
+#: least this long -- below it, pickling the data costs more than the
+#: transform.
+PARALLEL_MIN_SIZE = 256
 
 
 def _bit_reverse_permute(values: list[int]) -> None:
@@ -54,6 +60,28 @@ def fft_in_place(values: list[int], omega: int, p: int) -> None:
                 values[start + i] = (lo + hi) % p
                 values[start + i + half] = (lo - hi) % p
         length *= 2
+
+
+def _fft_task(vectors: list[list[int]], omega: int, p: int) -> list[list[int]]:
+    """Worker task: forward NTT of every vector (top-level, picklable)."""
+    out = []
+    for vec in vectors:
+        values = list(vec)
+        fft_in_place(values, omega, p)
+        out.append(values)
+    return out
+
+
+def _ifft_task(
+    vectors: list[list[int]], omega_inv: int, size_inv: int, p: int
+) -> list[list[int]]:
+    """Worker task: inverse NTT + 1/n scaling of every vector."""
+    out = []
+    for vec in vectors:
+        values = list(vec)
+        fft_in_place(values, omega_inv, p)
+        out.append([v * size_inv % p for v in values])
+    return out
 
 
 class EvaluationDomain:
@@ -123,6 +151,65 @@ class EvaluationDomain:
             coeffs[i] = coeffs[i] * power % p
             power = power * shift_inv % p
         return coeffs
+
+    # -- batched transforms -----------------------------------------------
+
+    def _dispatch_many(self, task, vectors: list[list[int]], *extra):
+        """Chunk ``vectors`` across the worker pool (order-preserving;
+        serial fallback runs the identical task function inline)."""
+        if (
+            not vectors
+            or len(vectors) < 2
+            or self.size < PARALLEL_MIN_SIZE
+            or not parallel.is_parallel()
+        ):
+            return task(vectors, *extra)
+        chunks = parallel.chunked(vectors, parallel.workers())
+        out: list[list[int]] = []
+        for part in parallel.pmap(task, [(c, *extra) for c in chunks]):
+            out.extend(part)
+        return out
+
+    def fft_many(self, coeffs_list: list[list[int]]) -> list[list[int]]:
+        """:meth:`fft` of many polynomials, in parallel when configured."""
+        padded = []
+        for coeffs in coeffs_list:
+            if len(coeffs) > self.size:
+                raise ValueError("polynomial larger than domain")
+            padded.append(list(coeffs) + [0] * (self.size - len(coeffs)))
+        return self._dispatch_many(_fft_task, padded, self.omega, self.field.p)
+
+    def ifft_many(self, evals_list: list[list[int]]) -> list[list[int]]:
+        """:meth:`ifft` of many evaluation vectors, in parallel when
+        configured (bit-identical to the serial path)."""
+        for evals in evals_list:
+            if len(evals) != self.size:
+                raise ValueError("evaluation vector must match domain size")
+        return self._dispatch_many(
+            _ifft_task,
+            [list(e) for e in evals_list],
+            self.omega_inv,
+            self.size_inv,
+            self.field.p,
+        )
+
+    def coset_fft_many(
+        self, coeffs_list: list[list[int]], shift: int
+    ) -> list[list[int]]:
+        """:meth:`coset_fft` of many polynomials: the coset scaling runs
+        in the parent (cheap), the NTTs fan out across workers."""
+        p = self.field.p
+        scaled_list = []
+        for coeffs in coeffs_list:
+            if len(coeffs) > self.size:
+                raise ValueError("polynomial larger than domain")
+            scaled = list(coeffs) + [0] * (self.size - len(coeffs))
+            power = 1
+            for i in range(len(coeffs)):
+                scaled[i] = scaled[i] * power % p
+                power = power * shift % p
+            scaled_list.append(scaled)
+        return self._dispatch_many(_fft_task, scaled_list, self.omega, p)
 
     # -- helpers ----------------------------------------------------------
 

@@ -33,6 +33,30 @@ PALLAS_SCALAR_MODULUS = (
 )
 
 
+#: Minimum vector length before batch inversion fans out to workers
+#: (below it the per-chunk pickle + modexp overhead dominates).
+_PARALLEL_INV_MIN = 8192
+
+
+def _batch_inv_task(values: list[int], p: int) -> list[int]:
+    """Worker task: Montgomery batch inversion of one chunk."""
+    n = len(values)
+    prefix = [0] * n
+    acc = 1
+    for i, v in enumerate(values):
+        v %= p
+        if v == 0:
+            raise ZeroDivisionError("batch_inv of zero element")
+        prefix[i] = acc
+        acc = acc * v % p
+    inv_acc = pow(acc, p - 2, p)
+    out = [0] * n
+    for i in range(n - 1, -1, -1):
+        out[i] = prefix[i] * inv_acc % p
+        inv_acc = inv_acc * (values[i] % p) % p
+    return out
+
+
 class Field:
     """An arithmetic context for a prime field GF(p).
 
@@ -120,11 +144,26 @@ class Field:
         Montgomery's trick: O(n) multiplications plus one inversion.
         Zero inputs raise ZeroDivisionError (callers in the prover
         guarantee nonzero denominators by construction).
+
+        Large inputs are inverted in chunks across the worker pool when
+        one is configured (one extra modexp per chunk; the inverses
+        themselves are unique, so results are identical either way).
         """
         p = self.p
         n = len(values)
         if n == 0:
             return []
+        if n >= _PARALLEL_INV_MIN:
+            from repro import parallel
+
+            if parallel.is_parallel():
+                chunks = parallel.chunked(list(values), parallel.workers())
+                out: list[int] = []
+                for part in parallel.pmap(
+                    _batch_inv_task, [(chunk, p) for chunk in chunks]
+                ):
+                    out.extend(part)
+                return out
         prefix = [0] * n
         acc = 1
         for i, v in enumerate(values):

@@ -1,0 +1,165 @@
+"""The one-stop session facade.
+
+Everything the paper's Figure 2 workflow needs -- parameter setup,
+database commitment, query proving, verification, auditing -- behind a
+single object::
+
+    from repro import PoneglyphDB, ProverConfig
+
+    with PoneglyphDB.open(db, ProverConfig(k=7, workers=4)) as session:
+        session.commit()
+        response = session.prove("select count(*) from patients")
+        assert session.verify(response).accepted
+
+The facade owns the cross-cutting plumbing the lower layers expose as
+knobs: it obtains public parameters through the artifact cache, applies
+the configured worker count to the parallel backend for the session's
+lifetime (restoring the previous setting on close), and keeps the
+prover/verifier pair consistent so a proved response verifies against
+the same commitment without ferrying metadata by hand.
+
+The role classes (:class:`~repro.system.prover_node.ProverNode`,
+:class:`~repro.system.verifier_node.VerifierNode`, the auditor) remain
+the right interface when prover and verifier genuinely run on different
+machines; :attr:`Session.prover` and :meth:`Session.verifier` hand them
+out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import parallel
+from repro.cache import ArtifactCache, resolve_cache
+from repro.commit.params import PublicParams, cached_setup, setup
+from repro.config import ProverConfig
+from repro.db.commitment import DatabaseCommitment
+from repro.db.database import Database
+from repro.system.audit import AuditCertificate, audit
+from repro.system.prover_node import ProverNode, QueryResponse
+from repro.system.verifier_node import VerificationReport, VerifierNode
+
+
+class Session:
+    """One prover-side proving session over one database.
+
+    Create via :meth:`PoneglyphDB.open`.  The session is a context
+    manager; leaving the ``with`` block (or calling :meth:`close`)
+    restores the global parallelism setting it overrode.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        config: ProverConfig,
+        params: PublicParams | None = None,
+        cache: ArtifactCache | None = None,
+    ):
+        self.config = config
+        self.db = db
+        self.cache = (
+            cache
+            if cache is not None
+            else resolve_cache(config.cache_dir, enabled=config.use_cache)
+        )
+        self._previous_workers = parallel.workers()
+        parallel.configure(config.workers)
+        self._closed = False
+
+        self.params_cache_hit = False
+        if params is None:
+            if self.cache.enabled:
+                params, self.params_cache_hit = cached_setup(
+                    self.cache, config.k, config.curve
+                )
+            else:
+                params = setup(config.k, config.curve)
+        self.params = params
+        self.prover = ProverNode(db, params, config=config, cache=self.cache)
+        self._verifier: VerifierNode | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Restore the parallelism setting the session overrode."""
+        if not self._closed:
+            parallel.configure(self._previous_workers)
+            self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- the Figure 2 workflow ------------------------------------------
+
+    @property
+    def commitment(self) -> DatabaseCommitment | None:
+        return self.prover.commitment
+
+    def commit(self) -> DatabaseCommitment:
+        """Publish the database commitment (phase 2; done once)."""
+        commitment = self.prover.publish_commitment()
+        self._verifier = None  # the old one pins the old commitment
+        return commitment
+
+    def prove(self, sql: str) -> QueryResponse:
+        """Answer ``sql`` with a result and a proof of correct
+        execution (phases 3-4).  Commits first if not yet committed."""
+        if self.prover.commitment is None:
+            self.commit()
+        return self.prover.answer(sql)
+
+    def verifier(self) -> VerifierNode:
+        """A verifier holding only public data (params, metadata,
+        commitment) -- what an untrusting client would construct."""
+        if self.prover.commitment is None:
+            raise RuntimeError("commit() before creating a verifier")
+        if self._verifier is None:
+            self._verifier = VerifierNode(
+                self.params,
+                self.prover.public_metadata(),
+                self.prover.commitment,
+                self.config.field,
+            )
+        return self._verifier
+
+    def verify(self, response: QueryResponse) -> VerificationReport:
+        """Check a response the way a client would (phase 5)."""
+        return self.verifier().verify(response)
+
+    def audit(self) -> AuditCertificate:
+        """Run the trusted auditor over the published commitment."""
+        if self.prover.commitment is None or self.prover._secrets is None:
+            raise RuntimeError("commit() before auditing")
+        return audit(
+            self.db, self.prover.commitment, self.prover._secrets, self.params
+        )
+
+    # -- instrumentation -------------------------------------------------
+
+    def cache_summary(self) -> str:
+        """Hit/miss counts for the session's artifact cache."""
+        return self.cache.stats.summary()
+
+
+class PoneglyphDB:
+    """The entry point: ``PoneglyphDB.open(db, config) -> Session``."""
+
+    @staticmethod
+    def open(
+        db: Database,
+        config: ProverConfig | None = None,
+        *,
+        params: PublicParams | None = None,
+        cache: ArtifactCache | None = None,
+    ) -> Session:
+        """Open a proving session over ``db``.
+
+        ``config`` defaults to ``ProverConfig()``; pass ``params`` to
+        reuse pre-generated public parameters (they must support at
+        least ``2^config.k`` rows), and ``cache`` to share one
+        :class:`~repro.cache.ArtifactCache` across sessions.
+        """
+        return Session(db, config or ProverConfig(), params, cache)

@@ -4,16 +4,24 @@ evaluation (see DESIGN.md's per-experiment index)."""
 
 from repro.bench.harness import (
     BenchConfig,
+    bench_cache,
+    bench_params,
     build_tpch_system,
     measure_query_pipeline,
+    perf_summary_lines,
     real_prove_query,
+    serial_vs_parallel,
 )
 from repro.bench.reporting import Report
 
 __all__ = [
     "BenchConfig",
+    "bench_cache",
+    "bench_params",
     "build_tpch_system",
     "measure_query_pipeline",
+    "perf_summary_lines",
     "real_prove_query",
+    "serial_vs_parallel",
     "Report",
 ]

@@ -9,12 +9,17 @@ verification.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
+from repro import parallel
 from repro.algebra.field import SCALAR_FIELD
 from repro.baselines.cost_models import PaperCalibration, column_work
-from repro.commit.params import PublicParams, setup
+from repro.cache import ArtifactCache, NullCache, resolve_cache
+from repro.commit.params import PublicParams, cached_setup
+from repro.config import ProverConfig
 from repro.db.database import Database
 from repro.plonkish.assignment import Assignment
 from repro.plonkish.mock_prover import MockProver
@@ -24,8 +29,15 @@ from repro.sql.parser import parse
 from repro.sql.planner import Planner
 from repro.system.prover_node import ProverNode
 from repro.system.verifier_node import VerifierNode
-from repro.tpch.datagen import generate
+from repro.tpch.datagen import generate_cached
 from repro.tpch.queries import QUERIES
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
 
 
 @dataclass
@@ -38,6 +50,12 @@ class BenchConfig:
     *structure* (constraints per row, columns per operator) is what the
     calibration extrapolates from, and it is bit-width-faithful when
     scaled back up (see cost_models).
+
+    ``workers`` routes the crypto through the parallel backend
+    (``REPRO_BENCH_WORKERS`` overrides the default); ``use_cache``
+    loads public parameters, proving keys, and the generated TPC-H
+    database through the on-disk artifact cache so the second run of a
+    benchmark skips straight to proving.
     """
 
     lineitem_rows: int = 64
@@ -46,16 +64,58 @@ class BenchConfig:
     value_bits: int = 32
     key_bits: int = 40
     seed: int = 19920873
+    workers: int = field(
+        default_factory=lambda: _env_int("REPRO_BENCH_WORKERS", 0)
+    )
+    use_cache: bool = True
+    cache_dir: str | None = None
 
 
 _DB_CACHE: dict[tuple[int, int], Database] = {}
+_ARTIFACT_CACHES: dict[tuple[str | None, bool], ArtifactCache] = {}
+
+
+def bench_cache(config: BenchConfig) -> ArtifactCache:
+    """The artifact cache shared by every benchmark in one process
+    (so cumulative hit/miss stats make sense in reports)."""
+    key = (config.cache_dir, config.use_cache)
+    if key not in _ARTIFACT_CACHES:
+        _ARTIFACT_CACHES[key] = (
+            resolve_cache(config.cache_dir, enabled=True)
+            if config.use_cache
+            else NullCache()
+        )
+    return _ARTIFACT_CACHES[key]
 
 
 def tpch_db(config: BenchConfig) -> Database:
+    """The benchmark's TPC-H database, loaded through the artifact
+    cache (a deterministic function of ``(lineitem_rows, seed)``)."""
     key = (config.lineitem_rows, config.seed)
     if key not in _DB_CACHE:
-        _DB_CACHE[key] = generate(config.lineitem_rows, config.seed)
+        _DB_CACHE[key], _ = generate_cached(
+            config.lineitem_rows, config.seed, bench_cache(config)
+        )
     return _DB_CACHE[key]
+
+
+def bench_params(config: BenchConfig) -> PublicParams:
+    """Public parameters for the benchmark ``k``, via the cache."""
+    params, _ = cached_setup(bench_cache(config), config.k)
+    return params
+
+
+def prover_config(config: BenchConfig) -> ProverConfig:
+    return ProverConfig(
+        k=config.k,
+        limb_bits=config.limb_bits,
+        value_bits=config.value_bits,
+        key_bits=config.key_bits,
+        workers=config.workers,
+        cache_dir=config.cache_dir,
+        use_cache=config.use_cache,
+        scale=config.lineitem_rows,
+    )
 
 
 def build_tpch_system(
@@ -63,18 +123,66 @@ def build_tpch_system(
 ) -> tuple[ProverNode, VerifierNode]:
     db = tpch_db(config)
     if params is None:
-        params = setup(config.k)
+        params = bench_params(config)
+    parallel.configure(config.workers)
     prover = ProverNode(
-        db,
-        params,
-        config.k,
-        limb_bits=config.limb_bits,
-        value_bits=config.value_bits,
-        key_bits=config.key_bits,
+        db, params, config=prover_config(config), cache=bench_cache(config)
     )
     commitment = prover.publish_commitment()
     verifier = VerifierNode(params, prover.public_metadata(), commitment)
     return prover, verifier
+
+
+# -- perf-summary helpers ----------------------------------------------------
+
+
+def timed(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run ``fn`` once; return ``(result, seconds)``."""
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def serial_vs_parallel(
+    fn: Callable[[], object], workers: int
+) -> tuple[float, float, float]:
+    """Time ``fn`` under the serial backend and again with ``workers``
+    workers; return ``(serial_s, parallel_s, speedup)``.
+
+    Speedup is reported as measured -- on a single-core host the
+    parallel run pays fork/pickle overhead and the ratio can dip below
+    1.0; on a multicore host it approaches the worker count.
+    """
+    with parallel.parallelism(0):
+        _, serial_s = timed(fn)
+    with parallel.parallelism(workers):
+        _, parallel_s = timed(fn)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    return serial_s, parallel_s, speedup
+
+
+def perf_summary_lines(
+    config: BenchConfig,
+    cache: ArtifactCache | None = None,
+    speedups: dict[str, tuple[float, float, float]] | None = None,
+) -> list[str]:
+    """The standard perf footer for a benchmark report: backend
+    configuration, serial-vs-parallel speedups, and cache traffic."""
+    store = cache if cache is not None else bench_cache(config)
+    lines = [
+        "",
+        f"backend: workers={config.workers or 'serial'} "
+        f"(host cpus={os.cpu_count()}), "
+        f"cache={'on' if store.enabled else 'off'}",
+    ]
+    for label, (serial_s, parallel_s, speedup) in (speedups or {}).items():
+        lines.append(
+            f"{label}: serial {serial_s:.3f}s vs parallel {parallel_s:.3f}s "
+            f"-> speedup {speedup:.2f}x"
+        )
+    lines.append(f"artifact cache: {store.stats.summary()}")
+    lines.extend(store.stats.events)
+    return lines
 
 
 @dataclass

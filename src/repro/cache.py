@@ -1,0 +1,195 @@
+"""Content-addressed on-disk cache for expensive proving artifacts.
+
+Public parameters, proving keys, and generated TPC-H databases are all
+deterministic functions of small descriptions -- ``(curve, k, label)``,
+a circuit fingerprint, a ``(scale, seed)`` pair -- yet regenerating
+them dominates the setup time of every benchmark and prover run
+(Table 2 of the paper measures parameter generation alone in minutes).
+This module stores such artifacts on disk keyed by the BLAKE2b hash of
+their full description, so a second run skips straight to proving.
+
+Keys are content *descriptions*, not content hashes: two runs asking
+for the same ``(kind, description)`` get the same file.  Any change to
+the description -- a different circuit shape, another seed, a bumped
+format version -- lands in a different file, which is the whole
+invalidation story.  Writes are atomic (temp file + rename), so a
+crashed run never leaves a truncated artifact behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+#: Bump to invalidate every artifact after a format-affecting change.
+CACHE_FORMAT_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_DISABLE = "REPRO_NO_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/poneglyphdb``."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "poneglyphdb"
+
+
+def cache_key(kind: str, *description: object) -> str:
+    """The content address: BLAKE2b over kind + canonicalized description."""
+    h = hashlib.blake2b(digest_size=20)
+    h.update(f"v{CACHE_FORMAT_VERSION}|{kind}".encode())
+    for part in description:
+        if isinstance(part, bytes):
+            chunk = part
+        else:
+            chunk = repr(part).encode()
+        h.update(b"|" + len(chunk).to_bytes(4, "little") + chunk)
+    return f"{kind}-{h.hexdigest()}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters surfaced by the bench harness."""
+
+    hits: int = 0
+    misses: int = 0
+    events: list[str] = field(default_factory=list)
+
+    def record(self, key: str, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self.events.append(f"cache {'HIT ' if hit else 'MISS'} {key}")
+
+    def summary(self) -> str:
+        return f"{self.hits} hit(s), {self.misses} miss(es)"
+
+
+class ArtifactCache:
+    """A directory of content-addressed artifacts.
+
+    ``enabled=False`` (or the ``REPRO_NO_CACHE`` environment variable)
+    turns every lookup into a miss that skips the disk entirely --
+    the builder always runs, nothing is stored.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str] | None = None,
+        enabled: bool = True,
+    ):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = enabled and not os.environ.get(_ENV_DISABLE)
+        self.stats = CacheStats()
+
+    # -- raw bytes ------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.bin"
+
+    def get_bytes(self, key: str) -> bytes | None:
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def put_bytes(self, key: str, data: bytes) -> None:
+        if not self.enabled:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: never expose a partially written artifact.
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, self.path_for(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- high-level helpers ---------------------------------------------
+
+    def fetch(
+        self,
+        kind: str,
+        description: tuple,
+        build: Callable[[], T],
+        serialize: Callable[[T], bytes] | None = None,
+        deserialize: Callable[[bytes], T] | None = None,
+    ) -> tuple[T, bool]:
+        """Load the artifact for ``(kind, description)`` or build and
+        store it.  Returns ``(value, was_cache_hit)``.
+
+        Without explicit codecs the value goes through ``pickle``;
+        artifacts with a stable wire format (public parameters) pass
+        their own ``serialize``/``deserialize`` pair.
+        """
+        key = cache_key(kind, *description)
+        raw = self.get_bytes(key)
+        if raw is not None:
+            try:
+                value = (
+                    deserialize(raw) if deserialize else pickle.loads(raw)
+                )
+                self.stats.record(key, hit=True)
+                return value, True
+            except Exception:
+                # Corrupt or stale-format artifact: rebuild below.
+                pass
+        value = build()
+        self.stats.record(key, hit=False)
+        data = (
+            serialize(value)
+            if serialize
+            else pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self.put_bytes(key, data)
+        return value, False
+
+    def clear(self, kind: str | None = None) -> int:
+        """Delete artifacts (optionally only one kind); returns count."""
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        prefix = f"{kind}-" if kind else ""
+        for entry in self.root.glob(f"{prefix}*.bin"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+class NullCache(ArtifactCache):
+    """A cache that never stores anything (the ``cache_dir=None`` path)."""
+
+    def __init__(self) -> None:
+        super().__init__(root=Path(os.devnull).parent, enabled=False)
+
+
+def resolve_cache(
+    cache: "ArtifactCache | str | os.PathLike[str] | None",
+    enabled: bool = True,
+) -> ArtifactCache:
+    """Coerce the user-facing ``cache_dir``-style argument to a cache."""
+    if isinstance(cache, ArtifactCache):
+        return cache
+    if cache is None and not enabled:
+        return NullCache()
+    return ArtifactCache(cache, enabled=enabled)

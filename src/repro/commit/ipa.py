@@ -29,9 +29,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import parallel
 from repro.algebra.field import Field
 from repro.commit.params import PublicParams
-from repro.ecc.curve import Point
+from repro.ecc.curve import (
+    Point,
+    curve_by_name,
+    points_from_affine_tuples,
+    points_to_affine_tuples,
+)
 from repro.ecc.msm import msm
 from repro.transcript import Transcript
 
@@ -74,6 +80,55 @@ def commit_polynomial(
     if len(padded) > params.n:
         raise ValueError("polynomial exceeds parameter capacity")
     return msm(list(params.g) + [params.w], padded + [blind])
+
+
+def _commit_batch_task(
+    curve_name: str,
+    g_coords: list[tuple[int, int]],
+    w_coord: tuple[int, int],
+    jobs: list[tuple[list[int], int]],
+) -> list[tuple[int, int]]:
+    """Worker task: commit each (padded coefficients, blind) job.
+
+    Bases travel once per task as affine tuples; inside a worker the
+    MSM itself runs serially (no nested pools).
+    """
+    curve = curve_by_name(curve_name)
+    bases = points_from_affine_tuples(curve, g_coords) + points_from_affine_tuples(
+        curve, [w_coord]
+    )
+    return points_to_affine_tuples(
+        [msm(bases, padded + [blind]) for padded, blind in jobs]
+    )
+
+
+def commit_polynomials(
+    params: PublicParams, items: Sequence[tuple[Sequence[int], int]]
+) -> list[Point]:
+    """Commit many ``(coeffs, blind)`` pairs, one MSM per polynomial,
+    across the worker pool when one is configured.
+
+    Results are identical to calling :func:`commit_polynomial` in a
+    loop (each commitment is an independent pure function); only the
+    scheduling differs.
+    """
+    if not parallel.is_parallel() or len(items) < 2:
+        return [commit_polynomial(params, coeffs, blind) for coeffs, blind in items]
+    jobs = []
+    for coeffs, blind in items:
+        if len(coeffs) > params.n:
+            raise ValueError("polynomial exceeds parameter capacity")
+        jobs.append((list(coeffs) + [0] * (params.n - len(coeffs)), blind))
+    g_coords = points_to_affine_tuples(list(params.g))
+    w_coord = params.w.to_affine()
+    tasks = [
+        (params.curve.name, g_coords, w_coord, chunk)
+        for chunk in parallel.chunked(jobs, parallel.workers())
+    ]
+    out: list[Point] = []
+    for chunk in parallel.pmap(_commit_batch_task, tasks):
+        out.extend(points_from_affine_tuples(params.curve, chunk))
+    return out
 
 
 def _powers(x: int, n: int, p: int) -> list[int]:

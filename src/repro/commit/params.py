@@ -5,15 +5,37 @@ independent group generators (plus two auxiliary bases) whose discrete
 logs nobody knows.  Generation uses hash-to-curve on public strings --
 "publicly verifiable randomness", no trusted setup -- and is a one-time
 cost, reusable for every circuit of at most ``2^k`` rows.
+
+Each generator is an independent hash-to-curve evaluation, so with
+workers configured in :mod:`repro.parallel` derivation is split across
+processes (bit-identical output: every generator is a pure function of
+its index).  Because the result is also a pure function of
+``(curve, k, label)``, it is a prime artifact-cache candidate -- see
+:func:`cached_setup`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.ecc.curve import Curve, PALLAS, Point
+from repro import parallel
+from repro.ecc.curve import (
+    Curve,
+    PALLAS,
+    Point,
+    curve_by_name,
+    points_from_affine_tuples,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache import ArtifactCache
 
 _DOMAIN = b"poneglyphdb-params-v1"
+
+#: Parameter sets smaller than this generate serially even with a pool
+#: (the fork/collect overhead exceeds the hashing work).
+_PARALLEL_MIN_N = 64
 
 
 @dataclass
@@ -52,20 +74,92 @@ class PublicParams:
             raise ValueError(f"cannot grow params from 2^{self.k} to 2^{k}")
         return PublicParams(self.curve, k, self.g[: 1 << k], self.w, self.u)
 
+    # -- stable wire format (the artifact cache stores this) -------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialization: curve name, k, then every base in
+        uncompressed affine form."""
+        name = self.curve.name.encode()
+        out = [len(name).to_bytes(1, "little"), name, self.k.to_bytes(1, "little")]
+        out.extend(pt.to_bytes() for pt in self.g)
+        out.append(self.w.to_bytes())
+        out.append(self.u.to_bytes())
+        return b"".join(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicParams":
+        name_len = data[0]
+        curve = curve_by_name(data[1 : 1 + name_len].decode())
+        k = data[1 + name_len]
+        stride = 2 * curve.field._byte_length
+        body = data[2 + name_len :]
+        n = 1 << k
+        if len(body) != (n + 2) * stride:
+            raise ValueError("truncated public-parameter encoding")
+        points = [
+            Point.from_bytes(curve, body[i * stride : (i + 1) * stride])
+            for i in range(n + 2)
+        ]
+        return cls(curve=curve, k=k, g=points[:n], w=points[n], u=points[n + 1])
+
+
+def _derive_generators_task(
+    curve_name: str, label: bytes, start: int, stop: int
+) -> list[tuple[int, int]]:
+    """Worker task: hash-to-curve the generators ``[start, stop)``."""
+    curve = curve_by_name(curve_name)
+    return [
+        curve.hash_to_curve(
+            _DOMAIN, label + b"|g|" + i.to_bytes(8, "little")
+        ).to_affine()
+        for i in range(start, stop)
+    ]
+
 
 def setup(k: int, curve: Curve = PALLAS, label: bytes = b"") -> PublicParams:
     """Generate public parameters supporting circuits of ``2^k`` rows.
 
     Deterministic in ``(k, curve, label)`` so provers and verifiers can
-    regenerate identical parameters independently.
+    regenerate identical parameters independently; with a worker pool
+    configured the ``2^k`` hash-to-curve derivations run in parallel.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
     n = 1 << k
-    g = [
-        curve.hash_to_curve(_DOMAIN, label + b"|g|" + i.to_bytes(8, "little"))
-        for i in range(n)
-    ]
+    if parallel.is_parallel() and n >= _PARALLEL_MIN_N:
+        tasks = [
+            (curve.name, label, lo, hi)
+            for lo, hi in parallel.chunk_bounds(n, parallel.workers())
+        ]
+        g: list[Point] = []
+        for chunk in parallel.pmap(_derive_generators_task, tasks):
+            g.extend(points_from_affine_tuples(curve, chunk))
+    else:
+        g = [
+            curve.hash_to_curve(_DOMAIN, label + b"|g|" + i.to_bytes(8, "little"))
+            for i in range(n)
+        ]
     w = curve.hash_to_curve(_DOMAIN, label + b"|w")
     u = curve.hash_to_curve(_DOMAIN, label + b"|u")
     return PublicParams(curve=curve, k=k, g=g, w=w, u=u)
+
+
+def cached_setup(
+    cache: "ArtifactCache",
+    k: int,
+    curve: Curve = PALLAS,
+    label: bytes = b"",
+) -> tuple[PublicParams, bool]:
+    """:func:`setup` through the artifact cache.
+
+    Returns ``(params, was_cache_hit)``.  The key is the full input
+    description ``(curve, k, label)``; a hit deserializes the canonical
+    byte form and skips every hash-to-curve evaluation.
+    """
+    return cache.fetch(
+        "params",
+        (curve.name, k, label),
+        build=lambda: setup(k, curve, label),
+        serialize=PublicParams.to_bytes,
+        deserialize=PublicParams.from_bytes,
+    )

@@ -1,0 +1,85 @@
+"""The consolidated prover configuration.
+
+Before this existed, the same knobs -- circuit ``k``, limb/value/key
+bit widths, and more recently worker counts and cache directories --
+were loose keyword arguments scattered across ``ProverNode.__init__``,
+keygen call sites, and every benchmark.  :class:`ProverConfig` is the
+one validated home for all of them; the old signatures survive as thin
+deprecation shims (see :mod:`repro.system.prover_node`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field as dc_field, replace
+from typing import Any
+
+from repro.algebra.field import Field, SCALAR_FIELD
+from repro.ecc.curve import Curve, PALLAS
+
+
+@dataclass(frozen=True)
+class ProverConfig:
+    """Everything a proving session needs beyond the data itself.
+
+    Attributes
+    ----------
+    k:
+        log2 of the circuit row count (and the database-commitment
+        basis size).  Public parameters must support at least ``2^k``.
+    limb_bits / value_bits / key_bits:
+        The encoding geometry: range-check limb width, encoded value
+        width, and join-key width.  The paper's full-scale design is
+        ``8 / 64 / 48``; tests and benchmarks shrink all three.
+    workers:
+        Worker processes for the parallel backend (0 or 1 = serial).
+    cache_dir:
+        Artifact-cache directory; ``None`` picks the default
+        (``$REPRO_CACHE_DIR`` or ``~/.cache/poneglyphdb``).
+    use_cache:
+        Master switch for the on-disk artifact cache.
+    scale:
+        Workload scale for benchmark/TPC-H sessions (lineitem rows);
+        ignored when an explicit database is supplied.
+    field / curve:
+        The circuit field and commitment curve (the paper's choices by
+        default).
+    """
+
+    k: int = 8
+    limb_bits: int = 8
+    value_bits: int = 64
+    key_bits: int = 48
+    workers: int = 0
+    cache_dir: str | os.PathLike[str] | None = None
+    use_cache: bool = True
+    scale: int = 64
+    field: Field = dc_field(default=SCALAR_FIELD, repr=False)
+    curve: Curve = dc_field(default=PALLAS, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.k <= self.field.two_adicity:
+            raise ValueError(
+                f"k must be in [2, {self.field.two_adicity}], got {self.k}"
+            )
+        for name in ("limb_bits", "value_bits", "key_bits"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if self.value_bits < self.limb_bits:
+            raise ValueError(
+                f"value_bits ({self.value_bits}) must be at least "
+                f"limb_bits ({self.limb_bits})"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.scale < 0:
+            raise ValueError(f"scale must be >= 0, got {self.scale}")
+
+    @property
+    def n_rows(self) -> int:
+        return 1 << self.k
+
+    def with_options(self, **changes: Any) -> "ProverConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)

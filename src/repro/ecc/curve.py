@@ -281,3 +281,32 @@ VESTA = Curve(
     gx=PALLAS_SCALAR_MODULUS - 1,
     gy=2,
 )
+
+#: Registry used to ship points across process boundaries by name
+#: (worker tasks reattach affine coordinates to the curve singleton).
+CURVES: dict[str, Curve] = {PALLAS.name: PALLAS, VESTA.name: VESTA}
+
+
+def curve_by_name(name: str) -> Curve:
+    try:
+        return CURVES[name]
+    except KeyError:
+        raise ValueError(f"unknown curve {name!r}") from None
+
+
+def points_to_affine_tuples(points: list[Point]) -> list[tuple[int, int]]:
+    """Plain-data form of many points for worker-task arguments (the
+    identity maps to ``(0, 0)``, mirroring :meth:`Point.to_affine`)."""
+    return batch_to_affine(points)
+
+
+def points_from_affine_tuples(
+    curve: Curve, coords: list[tuple[int, int]]
+) -> list[Point]:
+    """Inverse of :func:`points_to_affine_tuples` (no on-curve check:
+    inputs come from our own serialization)."""
+    identity = Point._identity(curve)
+    return [
+        identity if x == 0 and y == 0 else Point(curve, x, y)
+        for x, y in coords
+    ]

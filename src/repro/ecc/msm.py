@@ -4,13 +4,29 @@ The IPA commitment cost is dominated by MSMs ``sum_i s_i * G_i``.
 Pippenger's bucket method computes an n-point MSM in roughly
 ``n * 255 / c + 2^c`` group additions for window size ``c``, versus
 ``n * 255`` for naive per-point scalar multiplication.
+
+The bucket windows are independent, so with workers configured in
+:mod:`repro.parallel` they are computed across processes and combined
+in the usual doubling chain; the result is bit-identical to the serial
+path because only window *ownership* moves, never the arithmetic.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.ecc.curve import Curve, Point
+from repro import parallel
+from repro.ecc.curve import (
+    Curve,
+    Point,
+    curve_by_name,
+    points_from_affine_tuples,
+    points_to_affine_tuples,
+)
+
+#: Below this many nonzero pairs the fork/pickle overhead of farming
+#: out windows exceeds the bucket work itself.
+PARALLEL_THRESHOLD = 64
 
 
 def _window_size(n: int) -> int:
@@ -21,6 +37,77 @@ def _window_size(n: int) -> int:
         return 3
     c = n.bit_length() - 1
     return min(c, 16)
+
+
+def _window_sum(
+    curve: Curve,
+    pairs: Sequence[tuple[Point, int]],
+    c: int,
+    w: int,
+) -> Point:
+    """The bucketed sum of window ``w`` (the Pippenger inner loop)."""
+    mask = (1 << c) - 1
+    shift = w * c
+    buckets: list[Point | None] = [None] * mask
+    for pt, s in pairs:
+        idx = (s >> shift) & mask
+        if idx:
+            existing = buckets[idx - 1]
+            buckets[idx - 1] = pt if existing is None else existing + pt
+    # Running-sum trick: sum_k k * bucket[k] via two passes.
+    running = curve.identity()
+    total = curve.identity()
+    for b in reversed(buckets):
+        if b is not None:
+            running = running + b
+        total = total + running
+    return total
+
+
+def _window_sums_task(
+    curve_name: str,
+    coords: list[tuple[int, int]],
+    scalars: list[int],
+    c: int,
+    w_lo: int,
+    w_hi: int,
+) -> list[tuple[int, int]]:
+    """Worker task: window sums for windows ``[w_lo, w_hi)``.
+
+    Top-level (picklable) and pure: points travel as affine tuples and
+    come back the same way.
+    """
+    curve = curve_by_name(curve_name)
+    points = points_from_affine_tuples(curve, coords)
+    pairs = list(zip(points, scalars))
+    return points_to_affine_tuples(
+        [_window_sum(curve, pairs, c, w) for w in range(w_lo, w_hi)]
+    )
+
+
+def _all_window_sums(
+    curve: Curve,
+    pairs: list[tuple[Point, int]],
+    c: int,
+    num_windows: int,
+) -> list[Point]:
+    """Every window sum, farmed out across workers when configured."""
+    if (
+        not parallel.is_parallel()
+        or len(pairs) < PARALLEL_THRESHOLD
+        or num_windows < 2
+    ):
+        return [_window_sum(curve, pairs, c, w) for w in range(num_windows)]
+    coords = points_to_affine_tuples([pt for pt, _ in pairs])
+    scalars = [s for _, s in pairs]
+    tasks = [
+        (curve.name, coords, scalars, c, lo, hi)
+        for lo, hi in parallel.chunk_bounds(num_windows, parallel.workers())
+    ]
+    window_sums: list[Point] = []
+    for chunk in parallel.pmap(_window_sums_task, tasks):
+        window_sums.extend(points_from_affine_tuples(curve, chunk))
+    return window_sums
 
 
 def msm(points: Sequence[Point], scalars: Sequence[int]) -> Point:
@@ -49,25 +136,8 @@ def msm(points: Sequence[Point], scalars: Sequence[int]) -> Point:
     c = _window_size(len(pairs))
     num_bits = order.bit_length()
     num_windows = (num_bits + c - 1) // c
-    mask = (1 << c) - 1
 
-    window_sums: list[Point] = []
-    for w in range(num_windows):
-        shift = w * c
-        buckets: list[Point | None] = [None] * mask
-        for pt, s in pairs:
-            idx = (s >> shift) & mask
-            if idx:
-                existing = buckets[idx - 1]
-                buckets[idx - 1] = pt if existing is None else existing + pt
-        # Running-sum trick: sum_k k * bucket[k] via two passes.
-        running = curve.identity()
-        total = curve.identity()
-        for b in reversed(buckets):
-            if b is not None:
-                running = running + b
-            total = total + running
-        window_sums.append(total)
+    window_sums = _all_window_sums(curve, pairs, c, num_windows)
 
     acc = window_sums[-1]
     for total in reversed(window_sums[:-1]):

@@ -10,9 +10,37 @@ in an :class:`~repro.plonkish.assignment.Assignment`.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field as dataclass_field
 
-from repro.plonkish.expression import ColumnQuery, Expression
+from repro.plonkish.expression import (
+    ColumnQuery,
+    Constant,
+    Expression,
+    Product,
+    Scaled,
+    Sum,
+)
+
+
+def _describe_column(col: "Column") -> str:
+    return f"{col.kind.value}:{col.index}:{col.name}"
+
+
+def _describe_expr(expr: Expression) -> str:
+    """A canonical, collision-resistant text form of an expression tree
+    (unlike ``repr``, columns carry kind and index, not just name)."""
+    if isinstance(expr, Constant):
+        return f"c{expr.value}"
+    if isinstance(expr, ColumnQuery):
+        return f"q({_describe_column(expr.column)}@{expr.rotation})"
+    if isinstance(expr, Sum):
+        return f"({_describe_expr(expr.left)}+{_describe_expr(expr.right)})"
+    if isinstance(expr, Product):
+        return f"({_describe_expr(expr.left)}*{_describe_expr(expr.right)})"
+    if isinstance(expr, Scaled):
+        return f"({expr.scalar}.{_describe_expr(expr.inner)})"
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
 
 
 class ColumnKind(enum.Enum):
@@ -234,6 +262,57 @@ class ConstraintSystem:
         """Total polynomial constraints (one per gate constraint); the
         complexity currency of the paper's section 4 analyses."""
         return sum(len(g.constraints) for g in self.gates)
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the circuit *shape*.
+
+        Two ConstraintSystems built from the same query over the same
+        schema produce the same fingerprint; any structural change --
+        an extra column, a different constraint, a new copy -- changes
+        it.  Proving keys are cached under this value (plus the
+        parameter description), so the fingerprint doubles as the cache
+        invalidation rule.
+        """
+        h = hashlib.blake2b(digest_size=20)
+
+        def put(text: str) -> None:
+            h.update(text.encode())
+            h.update(b"\x00")
+
+        for label, columns in (
+            ("F", self.fixed_columns),
+            ("A", self.advice_columns),
+            ("I", self.instance_columns),
+            ("E", self.equality_columns),
+        ):
+            put(label)
+            for col in columns:
+                put(_describe_column(col))
+        for gate in self.gates:
+            put(f"G:{gate.name}")
+            for constraint in gate.constraints:
+                put(_describe_expr(constraint))
+        for lookup in self.lookups:
+            put(f"L:{lookup.name}")
+            for expr in lookup.inputs:
+                put(_describe_expr(expr))
+            put("|")
+            for expr in lookup.table:
+                put(_describe_expr(expr))
+        for shuffle in self.shuffles:
+            put(f"S:{shuffle.name}")
+            for side in (shuffle.input_groups, shuffle.table_groups):
+                for group in side:
+                    for expr in group:
+                        put(_describe_expr(expr))
+                    put(",")
+                put("|")
+        for copy in self.copies:
+            put(
+                f"C:{_describe_column(copy.left_col)}@{copy.left_row}="
+                f"{_describe_column(copy.right_col)}@{copy.right_row}"
+            )
+        return h.hexdigest()
 
     def summary(self) -> dict[str, int]:
         return {

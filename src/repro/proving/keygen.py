@@ -17,14 +17,18 @@ no trust.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
+from typing import TYPE_CHECKING
 
 from repro.algebra.domain import EvaluationDomain
 from repro.algebra.field import Field
-from repro.commit.ipa import commit_polynomial
+from repro.commit.ipa import commit_polynomials
 from repro.commit.params import PublicParams
 from repro.ecc.curve import Point
 from repro.plonkish.assignment import ZK_ROWS, Assignment
 from repro.plonkish.constraint_system import Column, ColumnKind, ConstraintSystem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache import ArtifactCache
 
 #: Columns covered by one permutation grand-product polynomial.  Keeping
 #: chunks small bounds the constraint degree at ``chunk + 2`` (the
@@ -188,20 +192,26 @@ def keygen(
     coset_shift = field.multiplicative_generator
 
     fit_params = params.truncated(k) if params.k > k else params
-
-    def make_poly(values: list[int], commit: bool = True) -> PolyData:
-        coeffs = domain.ifft(values)
-        ext = extended_domain.coset_fft(coeffs, coset_shift)
-        commitment = commit_polynomial(fit_params, coeffs, 0) if commit else None
-        return PolyData(coeffs=coeffs, extended_evals=ext, commitment=commitment)
-
     delta = field.multiplicative_generator
 
     system_values = _system_selectors(n, usable)
-    system = {name: make_poly(vals) for name, vals in system_values.items()}
-
     sigma_values = build_permutation_columns(cs, field, n, usable, delta)
-    sigmas = [make_poly(vals) for vals in sigma_values]
+
+    # All key polynomials go through the transforms and commitments as
+    # one batch so the worker pool (when configured) sees real fan-out.
+    system_names = list(system_values)
+    all_values = [system_values[name] for name in system_names] + sigma_values
+    all_coeffs = domain.ifft_many(all_values)
+    all_ext = extended_domain.coset_fft_many(all_coeffs, coset_shift)
+    all_commits = commit_polynomials(
+        fit_params, [(coeffs, 0) for coeffs in all_coeffs]
+    )
+    polys = [
+        PolyData(coeffs=coeffs, extended_evals=ext, commitment=commitment)
+        for coeffs, ext, commitment in zip(all_coeffs, all_ext, all_commits)
+    ]
+    system = dict(zip(system_names, polys[: len(system_names)]))
+    sigmas = polys[len(system_names) :]
 
     vk = VerifyingKey(
         params=fit_params,
@@ -229,24 +239,62 @@ def keygen(
     )
 
 
+def keygen_fingerprint(
+    params: PublicParams, cs: ConstraintSystem, field: Field, k: int
+) -> str:
+    """A stable content hash of everything :func:`keygen` depends on.
+
+    Used as the artifact-cache key for proving keys: any change to the
+    circuit shape, the parameter set, the field, or the row count lands
+    in a different cache entry (that *is* the invalidation mechanism).
+    """
+    import hashlib
+
+    h = hashlib.blake2b(digest_size=20)
+    h.update(f"{params.curve.name}|{params.k}|{field.p}|{k}|".encode())
+    h.update(params.g[0].to_bytes())
+    h.update(cs.fingerprint().encode())
+    return h.hexdigest()
+
+
+def cached_keygen(
+    cache: "ArtifactCache",
+    params: PublicParams,
+    cs: ConstraintSystem,
+    field: Field,
+    k: int,
+) -> tuple[ProvingKey, bool]:
+    """:func:`keygen` through the artifact cache.
+
+    Keygen is deterministic, so the pickled :class:`ProvingKey` (before
+    fixed-column finalization -- fixed values belong to the concrete
+    query run) is safe to reuse whenever the fingerprint matches.
+    Returns ``(pk, was_cache_hit)``.
+    """
+    fingerprint = keygen_fingerprint(params, cs, field, k)
+    return cache.fetch(
+        "pk",
+        (fingerprint,),
+        build=lambda: keygen(params, cs, field, k),
+    )
+
+
 def finalize_fixed(pk: ProvingKey, assignment: Assignment) -> None:
     """Commit the fixed columns once their values are assigned.
 
     Fixed values are part of the circuit description (the prover fills
     them during synthesis), so this completes key generation.
     """
-    field = pk.vk.field
     domain, ext, shift = pk.domain, pk.extended_domain, pk.coset_shift
     fit_params = pk.vk.params
-    pk.fixed = []
     pk.fixed_values = [list(col) for col in assignment.fixed]
-    for values in assignment.fixed:
-        coeffs = domain.ifft(values)
-        pk.fixed.append(
-            PolyData(
-                coeffs=coeffs,
-                extended_evals=ext.coset_fft(coeffs, shift),
-                commitment=commit_polynomial(fit_params, coeffs, 0),
-            )
-        )
+    coeffs_list = domain.ifft_many(list(assignment.fixed))
+    ext_list = ext.coset_fft_many(coeffs_list, shift)
+    commits = commit_polynomials(
+        fit_params, [(coeffs, 0) for coeffs in coeffs_list]
+    )
+    pk.fixed = [
+        PolyData(coeffs=coeffs, extended_evals=ext_evals, commitment=commitment)
+        for coeffs, ext_evals, commitment in zip(coeffs_list, ext_list, commits)
+    ]
     pk.vk.fixed_commitments = [pd.commitment for pd in pk.fixed]

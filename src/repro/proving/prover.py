@@ -16,7 +16,7 @@ from dataclasses import dataclass, field as dc_field
 
 from repro.algebra.field import Field
 from repro.algebra.poly import evaluate_coeffs
-from repro.commit.ipa import commit_polynomial
+from repro.commit.ipa import commit_polynomial, commit_polynomials
 from repro.plonkish.assignment import Assignment
 from repro.plonkish.constraint_system import Column, ColumnKind
 from repro.proving.evaluation import evaluate_expression_ext, evaluate_expression_rows
@@ -87,16 +87,16 @@ def create_proof(
     # ---- round 1: commit advice columns --------------------------------
     t0 = time.perf_counter()
     overrides = advice_blind_overrides or {}
-    advice_coeffs: list[list[int]] = []
-    advice_blinds: list[int] = []
-    advice_commitments = []
-    for index, values in enumerate(assignment.advice):
-        coeffs = domain.ifft(values)
-        blind = overrides.get(index, field.rand())
-        commitment = commit_polynomial(params, coeffs, blind)
-        advice_coeffs.append(coeffs)
-        advice_blinds.append(blind)
-        advice_commitments.append(commitment)
+    # Batched: per-column IFFTs and commitment MSMs are independent, so
+    # they fan out across the worker pool when one is configured.
+    advice_coeffs = domain.ifft_many(list(assignment.advice))
+    advice_blinds = [
+        overrides.get(index, field.rand())
+        for index in range(len(assignment.advice))
+    ]
+    advice_commitments = commit_polynomials(
+        params, list(zip(advice_coeffs, advice_blinds))
+    )
     transcript.absorb_points(b"advice", advice_commitments)
     if timing:
         timing.commit_advice = time.perf_counter() - t0
@@ -201,12 +201,11 @@ def create_proof(
             z[i] = field.rand()
         perm_z_values.append(z)
 
-    perm_z_coeffs = [domain.ifft(z) for z in perm_z_values]
+    perm_z_coeffs = domain.ifft_many(perm_z_values)
     perm_z_blinds = [field.rand() for _ in perm_z_values]
-    perm_z_commitments = [
-        commit_polynomial(params, coeffs, blind)
-        for coeffs, blind in zip(perm_z_coeffs, perm_z_blinds)
-    ]
+    perm_z_commitments = commit_polynomials(
+        params, list(zip(perm_z_coeffs, perm_z_blinds))
+    )
     transcript.absorb_points(b"perm-z", perm_z_commitments)
 
     # Lookup grand products.
@@ -289,7 +288,7 @@ def create_proof(
             ext_cache[key] = ext_domain.coset_fft(coeffs, shift)
         return ext_cache[key]
 
-    instance_coeffs = [domain.ifft(vals) for vals in assignment.instance]
+    instance_coeffs = domain.ifft_many(list(assignment.instance))
 
     def get_column_ext(col: Column) -> list[int]:
         if col.kind is ColumnKind.ADVICE:
@@ -480,10 +479,7 @@ def create_proof(
         h_coeffs.pop()
     pieces = [h_coeffs[i : i + n] for i in range(0, len(h_coeffs), n)] or [[0]]
     h_blinds = [field.rand() for _ in pieces]
-    h_commitments = [
-        commit_polynomial(params, piece, blind)
-        for piece, blind in zip(pieces, h_blinds)
-    ]
+    h_commitments = commit_polynomials(params, list(zip(pieces, h_blinds)))
     transcript.absorb_points(b"h", h_commitments)
     if timing:
         timing.quotient = time.perf_counter() - t0

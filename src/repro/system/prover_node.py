@@ -10,11 +10,14 @@ commitment.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.algebra.field import Field, SCALAR_FIELD
+from repro.cache import ArtifactCache, resolve_cache
 from repro.commit.params import PublicParams
+from repro.config import ProverConfig
 from repro.db.commitment import (
     CommitmentSecrets,
     DatabaseCommitment,
@@ -22,7 +25,7 @@ from repro.db.commitment import (
 )
 from repro.db.database import Database
 from repro.plonkish.assignment import Assignment
-from repro.proving.keygen import ProvingKey, finalize_fixed, keygen
+from repro.proving.keygen import ProvingKey, cached_keygen, finalize_fixed, keygen
 from repro.proving.proof import Proof
 from repro.proving.prover import ProverTiming, create_proof
 from repro.sql.compiler import CompiledQuery, QueryCompiler
@@ -62,27 +65,68 @@ class QueryResponse:
 
 
 class ProverNode:
-    """The database owner / prover P."""
+    """The database owner / prover P.
+
+    The preferred construction is ``ProverNode(db, params, config=cfg)``
+    with a :class:`~repro.config.ProverConfig` (or, one level up, the
+    :class:`repro.api.PoneglyphDB` facade).  The historical loose-kwarg
+    signature ``ProverNode(db, params, k, field_, limb_bits, ...)``
+    still works as a deprecation shim and behaves exactly as before
+    (in particular: no artifact cache).
+    """
 
     def __init__(
         self,
         db: Database,
         params: PublicParams,
-        k: int,
+        k: int | None = None,
         field_: Field = SCALAR_FIELD,
         limb_bits: int = 8,
         value_bits: int = 64,
         key_bits: int = 48,
+        *,
+        config: ProverConfig | None = None,
+        cache: ArtifactCache | None = None,
     ):
-        if (1 << k) > params.n:
+        if config is None:
+            if k is None:
+                raise TypeError(
+                    "ProverNode needs either k (legacy signature) or "
+                    "config=ProverConfig(...)"
+                )
+            warnings.warn(
+                "ProverNode's loose keyword signature is deprecated; pass "
+                "config=ProverConfig(k=..., limb_bits=..., ...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            # The legacy path never caches: identical behavior to before
+            # the config existed.
+            config = ProverConfig(
+                k=k,
+                limb_bits=limb_bits,
+                value_bits=value_bits,
+                key_bits=key_bits,
+                field=field_,
+                use_cache=False,
+            )
+        elif k is not None:
+            raise TypeError("pass k via ProverConfig, not alongside config=")
+        if (1 << config.k) > params.n:
             raise ValueError("k exceeds public parameter capacity")
+        self.config = config
         self.db = db
-        self.params = params.truncated(k) if params.k > k else params
-        self.k = k
-        self.field = field_
-        self.limb_bits = limb_bits
-        self.value_bits = value_bits
-        self.key_bits = key_bits
+        self.params = (
+            params.truncated(config.k) if params.k > config.k else params
+        )
+        self.k = config.k
+        self.field = config.field
+        self.limb_bits = config.limb_bits
+        self.value_bits = config.value_bits
+        self.key_bits = config.key_bits
+        self.cache = cache if cache is not None else resolve_cache(
+            config.cache_dir, enabled=config.use_cache
+        )
         self.commitment: Optional[DatabaseCommitment] = None
         self._secrets: Optional[CommitmentSecrets] = None
         self._planner = Planner(db)
@@ -140,7 +184,13 @@ class ProverNode:
         timing.extra["witness"] = time.perf_counter() - t1
 
         t2 = time.perf_counter()
-        pk: ProvingKey = keygen(self.params, compiled.cs, self.field, self.k)
+        if self.cache.enabled:
+            pk, cache_hit = cached_keygen(
+                self.cache, self.params, compiled.cs, self.field, self.k
+            )
+            timing.extra["keygen_cache_hit"] = 1.0 if cache_hit else 0.0
+        else:
+            pk: ProvingKey = keygen(self.params, compiled.cs, self.field, self.k)
         finalize_fixed(pk, asg)
         timing.extra["keygen"] = time.perf_counter() - t2
 

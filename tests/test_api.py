@@ -1,0 +1,186 @@
+"""The session facade and the consolidated ProverConfig.
+
+These tests pin the public surface: ``PoneglyphDB.open`` drives the
+full commit -> prove -> verify -> audit workflow, ``ProverConfig``
+validates its knobs, and the historical loose-kwarg ``ProverNode``
+signature keeps working as a deprecation shim.
+"""
+
+import warnings
+
+import pytest
+
+from repro import ArtifactCache, PoneglyphDB, ProverConfig, Session
+from repro import parallel
+from repro.db import ColumnDef, Database, TableSchema
+from repro.db.types import INT, STRING
+from repro.system import ProverNode, VerifierNode
+
+
+@pytest.fixture()
+def tiny_db():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [ColumnDef("a", INT), ColumnDef("grp", STRING), ColumnDef("v", INT)],
+            primary_key="a",
+        ),
+        [
+            (1, "x", 10),
+            (2, "y", 20),
+            (3, "x", 30),
+            (4, "y", 40),
+            (5, "x", 50),
+        ],
+    )
+    return db
+
+
+@pytest.fixture()
+def tiny_config(tmp_path):
+    return ProverConfig(
+        k=6, limb_bits=4, value_bits=16, key_bits=16,
+        cache_dir=tmp_path / "cache",
+    )
+
+
+class TestProverConfig:
+    def test_defaults(self):
+        config = ProverConfig()
+        assert config.k == 8 and config.n_rows == 256
+        assert config.workers == 0 and config.use_cache
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 1},
+            {"k": 99},
+            {"limb_bits": 0},
+            {"value_bits": -3},
+            {"key_bits": "wide"},
+            {"limb_bits": 8, "value_bits": 4},
+            {"workers": -1},
+            {"scale": -5},
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            ProverConfig(**kwargs)
+
+    def test_with_options_revalidates(self):
+        config = ProverConfig(k=6)
+        assert config.with_options(k=7).k == 7
+        assert config.k == 6  # frozen original untouched
+        with pytest.raises(ValueError):
+            config.with_options(workers=-2)
+
+
+class TestFacade:
+    def test_full_round_trip(self, tiny_db, tiny_config):
+        with PoneglyphDB.open(tiny_db, tiny_config) as session:
+            assert isinstance(session, Session)
+            commitment = session.commit()
+            assert session.commitment is commitment
+            assert session.audit().valid
+
+            response = session.prove(
+                "select grp, sum(v) as total from t group by grp order by total"
+            )
+            assert response.result == [["y", 60], ["x", 90]]
+            report = session.verify(response)
+            assert report.accepted, report.reason
+
+            # A forged result is rejected through the same facade.
+            import copy
+
+            forged = copy.deepcopy(response)
+            forged.result_encoded[0][1] += 1
+            assert not session.verify(forged).accepted
+
+    def test_prove_auto_commits(self, tiny_db, tiny_config):
+        with PoneglyphDB.open(tiny_db, tiny_config) as session:
+            assert session.commitment is None
+            response = session.prove("select count(*) as n from t")
+            assert session.commitment is not None
+            assert session.verify(response).accepted
+
+    def test_second_session_hits_cache(self, tiny_db, tiny_config):
+        with PoneglyphDB.open(tiny_db, tiny_config) as first:
+            first.prove("select count(*) as n from t")
+            assert not first.params_cache_hit  # cold cache
+        with PoneglyphDB.open(tiny_db, tiny_config) as second:
+            assert second.params_cache_hit
+            response = second.prove("select count(*) as n from t")
+            assert response.timing.extra.get("keygen_cache_hit") == 1.0
+            assert second.verify(response).accepted
+            assert "hit" in second.cache_summary()
+
+    def test_cache_disabled(self, tiny_db, tmp_path):
+        config = ProverConfig(
+            k=6, limb_bits=4, value_bits=16, key_bits=16, use_cache=False
+        )
+        with PoneglyphDB.open(tiny_db, config) as session:
+            assert not session.cache.enabled
+            assert not session.params_cache_hit
+
+    def test_session_restores_parallelism(self, tiny_db, tiny_config):
+        parallel.configure(0)
+        session = PoneglyphDB.open(
+            tiny_db, tiny_config.with_options(workers=3, use_cache=False)
+        )
+        assert parallel.workers() == 3
+        session.close()
+        assert parallel.workers() == 0
+
+    def test_shared_params_and_cache(self, tiny_db, tiny_config, tmp_path):
+        shared = ArtifactCache(tmp_path / "shared")
+        with PoneglyphDB.open(tiny_db, tiny_config, cache=shared) as session:
+            assert session.cache is shared
+        from repro.commit import setup
+
+        params = setup(6)
+        with PoneglyphDB.open(tiny_db, tiny_config, params=params) as session:
+            assert session.params is params
+            assert not session.params_cache_hit
+
+    def test_verify_before_commit_raises(self, tiny_db, tiny_config):
+        with PoneglyphDB.open(tiny_db, tiny_config) as session:
+            with pytest.raises(RuntimeError):
+                session.verifier()
+            with pytest.raises(RuntimeError):
+                session.audit()
+
+
+class TestLegacyShims:
+    def test_legacy_prover_node_signature_warns_and_works(
+        self, tiny_db, params_k6
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(DeprecationWarning):
+                ProverNode(
+                    tiny_db, params_k6, 6,
+                    limb_bits=4, value_bits=16, key_bits=16,
+                )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            prover = ProverNode(
+                tiny_db, params_k6, 6,
+                limb_bits=4, value_bits=16, key_bits=16,
+            )
+        # The legacy path never touches the artifact cache.
+        assert not prover.cache.enabled
+        commitment = prover.publish_commitment()
+        response = prover.answer("select count(*) as n from t")
+        verifier = VerifierNode(params_k6, prover.public_metadata(), commitment)
+        assert verifier.verify(response).accepted
+
+    def test_k_alongside_config_rejected(self, tiny_db, params_k6):
+        config = ProverConfig(k=6, limb_bits=4, value_bits=16, key_bits=16)
+        with pytest.raises(TypeError):
+            ProverNode(tiny_db, params_k6, 6, config=config)
+
+    def test_missing_k_and_config_rejected(self, tiny_db, params_k6):
+        with pytest.raises(TypeError):
+            ProverNode(tiny_db, params_k6)

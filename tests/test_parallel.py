@@ -1,0 +1,184 @@
+"""The parallel backend: work splitting, the pool, and bit-identical
+serial/parallel equality for the crypto hot spots (MSM, FFT, batch
+inversion, generator derivation, batched commitments).
+
+The worker pool forks real processes, so the equality tests here are
+the guarantee the rest of the stack leans on: a proof computed with
+``workers=N`` is byte-for-byte the proof computed serially.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import parallel
+from repro.algebra import SCALAR_FIELD
+from repro.algebra.domain import EvaluationDomain
+from repro.commit.ipa import commit_polynomial, commit_polynomials
+from repro.commit.params import setup
+from repro.ecc import PALLAS, msm
+from repro.ecc.msm import PARALLEL_THRESHOLD
+
+
+def _mul(a, b):
+    return a * b
+
+
+@pytest.fixture(autouse=True)
+def _serial_after():
+    """Every test leaves the global backend serial again."""
+    yield
+    parallel.configure(0)
+    parallel.shutdown()
+
+
+class TestWorkSplitting:
+    @given(n=st.integers(0, 300), parts=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_chunk_bounds_partition_the_range(self, n, parts):
+        bounds = parallel.chunk_bounds(n, parts)
+        # Contiguous, ordered, non-empty (except the n=0 single chunk),
+        # and covering exactly range(n).
+        flat = [i for lo, hi in bounds for i in range(lo, hi)]
+        assert flat == list(range(n))
+        assert len(bounds) <= parts
+        sizes = [hi - lo for lo, hi in bounds]
+        if n:
+            assert all(sizes)
+            assert max(sizes) - min(sizes) <= 1  # balanced
+
+    def test_chunked_round_trips(self):
+        items = list(range(17))
+        chunks = parallel.chunked(items, 4)
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_pmap_serial_fallback_preserves_order(self):
+        parallel.configure(0)
+        assert parallel.pmap(_mul, [(i, i) for i in range(6)]) == [
+            i * i for i in range(6)
+        ]
+        assert not parallel.is_parallel()
+
+    def test_pmap_with_workers_preserves_order(self):
+        parallel.configure(2)
+        assert parallel.is_parallel()
+        tasks = [(i, 3) for i in range(20)]
+        assert parallel.pmap(_mul, tasks) == [i * 3 for i in range(20)]
+
+    def test_parallelism_context_restores(self):
+        parallel.configure(0)
+        with parallel.parallelism(3):
+            assert parallel.workers() == 3
+        assert parallel.workers() == 0
+
+
+class TestCryptoEquality:
+    """Parallel results must be bit-identical to serial ones."""
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=3, deadline=None)
+    def test_msm_parallel_matches_serial(self, seed):
+        rng = random.Random(seed)
+        n = PARALLEL_THRESHOLD + 16
+        points = [PALLAS.generator * rng.randrange(1, 2**64) for _ in range(n)]
+        scalars = [rng.randrange(SCALAR_FIELD.p) for _ in range(n)]
+        serial = msm(points, scalars)
+        with parallel.parallelism(2):
+            par = msm(points, scalars)
+        assert serial == par
+        assert serial.to_affine() == par.to_affine()
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=3, deadline=None)
+    def test_fft_parallel_matches_serial(self, seed):
+        rng = random.Random(seed)
+        domain = EvaluationDomain(SCALAR_FIELD, 9)  # 512 >= PARALLEL_MIN_SIZE
+        vectors = [
+            [rng.randrange(SCALAR_FIELD.p) for _ in range(domain.size)]
+            for _ in range(3)
+        ]
+        serial_fft = [domain.fft(list(v)) for v in vectors]
+        serial_ifft = [domain.ifft(list(v)) for v in vectors]
+        shift = 5
+        serial_coset = [domain.coset_fft(list(v), shift) for v in vectors]
+        with parallel.parallelism(2):
+            assert domain.fft_many([list(v) for v in vectors]) == serial_fft
+            assert domain.ifft_many([list(v) for v in vectors]) == serial_ifft
+            assert (
+                domain.coset_fft_many([list(v) for v in vectors], shift)
+                == serial_coset
+            )
+
+    def test_fft_round_trip_under_workers(self):
+        rng = random.Random(7)
+        domain = EvaluationDomain(SCALAR_FIELD, 9)
+        vectors = [
+            [rng.randrange(SCALAR_FIELD.p) for _ in range(domain.size)]
+            for _ in range(2)
+        ]
+        with parallel.parallelism(2):
+            back = domain.fft_many(domain.ifft_many([list(v) for v in vectors]))
+        assert back == vectors
+
+    def test_batch_inv_parallel_matches_serial(self):
+        from repro.algebra.field import _PARALLEL_INV_MIN
+
+        rng = random.Random(11)
+        values = [
+            rng.randrange(1, SCALAR_FIELD.p) for _ in range(_PARALLEL_INV_MIN)
+        ]
+        serial = SCALAR_FIELD.batch_inv(values)
+        with parallel.parallelism(2):
+            assert SCALAR_FIELD.batch_inv(values) == serial
+        assert all(
+            SCALAR_FIELD.mul(v, i) == 1 for v, i in zip(values[:32], serial[:32])
+        )
+
+    def test_setup_parallel_matches_serial(self):
+        serial = setup(7, label=b"par-test")
+        with parallel.parallelism(2):
+            par = setup(7, label=b"par-test")
+        assert serial.g == par.g
+        assert serial.w == par.w and serial.u == par.u
+
+    def test_batched_commitments_match_individual(self, params_k6):
+        rng = random.Random(3)
+        items = [
+            (
+                [rng.randrange(SCALAR_FIELD.p) for _ in range(params_k6.n)],
+                rng.randrange(SCALAR_FIELD.p),
+            )
+            for _ in range(4)
+        ]
+        individual = [
+            commit_polynomial(params_k6, coeffs, blind)
+            for coeffs, blind in items
+        ]
+        assert commit_polynomials(params_k6, items) == individual
+        with parallel.parallelism(2):
+            assert commit_polynomials(params_k6, items) == individual
+
+
+class TestPoolSafety:
+    def test_nested_pool_degrades_to_serial(self):
+        """A pmap running inside a worker must not touch the inherited
+        pool (the parent-PID guard)."""
+        parallel.configure(2)
+        results = parallel.pmap(_nested_pmap_probe, [(2,), (3,)])
+        assert results == [4, 9]
+
+    def test_env_workers_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert parallel._env_workers() == 5
+        monkeypatch.setenv("REPRO_WORKERS", "garbage")
+        assert parallel._env_workers() == 0
+
+
+def _nested_pmap_probe(x):
+    # Runs inside a worker: the module-level pool global is inherited
+    # from the parent, but its parent-PID guard makes it unusable, so
+    # this inner pmap must run inline instead of deadlocking.
+    assert not parallel.is_parallel()
+    return parallel.pmap(_mul, [(x, x), (x, 1)])[0]
