@@ -233,6 +233,34 @@ class EvaluationDomain:
             return x * pow(self.omega, rotation, p) % p
         return x * pow(self.omega_inv, -rotation, p) % p
 
+    def lagrange_basis_evals(self, x: int, count: int) -> list[int]:
+        """Evaluate the first ``count`` Lagrange basis polynomials
+        ``L_0(x) .. L_{count-1}(x)`` with ONE batch inversion.
+
+        Matches ``[self.lagrange_basis_eval(i, x) for i in range(count)]``
+        but replaces the per-basis field inversion (a ~254-bit modexp
+        each) with a single Montgomery batch inversion -- the verifier
+        uses this to evaluate instance columns at each distinct opening
+        point (see ``proving/verifier.py``).
+        """
+        p = self.field.p
+        count = min(count, self.size)
+        x = x % p
+        omegas = [1] * count
+        for i in range(1, count):
+            omegas[i] = omegas[i - 1] * self.omega % p
+        z = self.vanishing_eval(x)
+        if z == 0:
+            # x lies in the domain: L_i(omega^j) = [i == j].
+            return [1 if x == w else 0 for w in omegas]
+        n_inv = self.size_inv
+        denominators = [(x - w) % p for w in omegas]
+        inverses = self.field.batch_inv(denominators)
+        return [
+            z * w % p * n_inv % p * inv % p
+            for w, inv in zip(omegas, inverses)
+        ]
+
     def lagrange_basis_eval(self, i: int, x: int) -> int:
         """Evaluate the i-th Lagrange basis polynomial L_i(X) over H at
         an arbitrary point x (used by the verifier for instance columns).

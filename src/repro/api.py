@@ -126,7 +126,12 @@ class Session:
         return self._verifier
 
     def verify(self, response: QueryResponse) -> VerificationReport:
-        """Check a response the way a client would (phase 5)."""
+        """Check a response the way a client would (phase 5).
+
+        Verification consumes the response's **wire bytes**
+        (``response.wire_bytes()``), decoded with the strict
+        :meth:`repro.proving.proof.Proof.from_bytes` validator -- the
+        in-memory proof object is never trusted."""
         return self.verifier().verify(response)
 
     def audit(self) -> AuditCertificate:

@@ -40,6 +40,7 @@ from repro.ecc.curve import (
 )
 from repro.ecc.msm import msm
 from repro.transcript import Transcript
+from repro.wire import ByteReader, SCALAR_BYTES, point_wire_size
 
 
 @dataclass
@@ -63,13 +64,68 @@ class IpaProof:
         return 2 * len(self.rounds) * point_bytes + 2 * 32
 
     def to_bytes(self) -> bytes:
+        """Canonical serialization: round count, the (L, R) points, then
+        the two final scalars reduced into the scalar field."""
         out = [len(self.rounds).to_bytes(4, "little")]
+        modulus = 1 << (8 * SCALAR_BYTES)
         for left, right in self.rounds:
             out.append(left.to_bytes())
             out.append(right.to_bytes())
-        out.append(self.a.to_bytes(32, "little"))
-        out.append(self.blind.to_bytes(32, "little"))
+        if self.rounds:
+            modulus = self.rounds[0][0].curve.scalar_field.p
+        out.append((self.a % modulus).to_bytes(SCALAR_BYTES, "little"))
+        out.append((self.blind % modulus).to_bytes(SCALAR_BYTES, "little"))
         return b"".join(out)
+
+    @classmethod
+    def read_from(
+        cls, reader: ByteReader, curve, expected_rounds: int | None = None
+    ) -> "IpaProof":
+        """Strictly decode one proof from ``reader`` (see
+        :class:`repro.wire.ByteReader` for the rejection rules).
+
+        ``expected_rounds`` pins the round count to ``log2 n`` of the
+        public parameters; an unexpected count is rejected before any
+        point is parsed.
+        """
+        from repro.wire import WireFormatError
+
+        point_size = point_wire_size(curve)
+        n_rounds = reader.count(
+            "ipa rounds",
+            element_size=2 * point_size,
+            max_count=(
+                expected_rounds
+                if expected_rounds is not None
+                else curve.scalar_field.two_adicity
+            ),
+        )
+        if expected_rounds is not None and n_rounds != expected_rounds:
+            raise WireFormatError(
+                f"ipa proof has {n_rounds} rounds, expected {expected_rounds}"
+            )
+        rounds = [
+            (
+                reader.point(curve, "ipa L"),
+                reader.point(curve, "ipa R"),
+            )
+            for _ in range(n_rounds)
+        ]
+        p = curve.scalar_field.p
+        a = reader.scalar(p, "ipa a")
+        blind = reader.scalar(p, "ipa blind")
+        return cls(rounds=rounds, a=a, blind=blind)
+
+    @classmethod
+    def from_bytes(
+        cls, curve, data: bytes, expected_rounds: int | None = None
+    ) -> "IpaProof":
+        """Strict standalone round-trip inverse of :meth:`to_bytes`
+        (rejects trailing bytes)."""
+        reader = ByteReader(data)
+        proof = cls.read_from(reader, curve, expected_rounds)
+        reader.finish()
+        return proof
 
 
 def commit_polynomial(

@@ -39,6 +39,10 @@ from repro.ecc.curve import (
 )
 from repro.ecc.msm import msm
 from repro.plonkish.assignment import ZK_ROWS
+from repro.wire import ByteReader, WireFormatError, point_wire_size
+
+#: Wire-format header for a published database commitment.
+COMMITMENT_WIRE_MAGIC = b"PDBC"
 
 
 @dataclass
@@ -59,6 +63,67 @@ class DatabaseCommitment:
 
     def commitment_for(self, table: str, column: str) -> Point:
         return self.column_commitments[(table, column)]
+
+    def to_bytes(self) -> bytes:
+        """Canonical wire serialization of the published commitment
+        (format ``PDBC``): the circuit size ``k``, every column
+        commitment in sorted key order, then the Merkle root."""
+        out = [
+            COMMITMENT_WIRE_MAGIC,
+            self.k.to_bytes(4, "little"),
+            len(self.column_commitments).to_bytes(4, "little"),
+        ]
+        for (table, column), pt in sorted(self.column_commitments.items()):
+            for name in (table, column):
+                encoded = name.encode()
+                out.append(len(encoded).to_bytes(2, "little"))
+                out.append(encoded)
+            out.append(pt.to_bytes())
+        out.append(self.root)
+        return b"".join(out)
+
+    @classmethod
+    def from_bytes(cls, curve, data: bytes) -> "DatabaseCommitment":
+        """Strict inverse of :meth:`to_bytes`.
+
+        Rejects malformed points, non-sorted or duplicate column keys,
+        trailing bytes, and -- crucially -- a root that does not match
+        the recomputed Merkle tree over the parsed commitments, so a
+        relayed commitment cannot smuggle in unrooted columns.
+        """
+        point_size = point_wire_size(curve)
+        reader = ByteReader(data)
+        reader.expect(COMMITMENT_WIRE_MAGIC, "commitment header")
+        k = reader.u32("commitment k")
+        n_columns = reader.count(
+            "column commitments",
+            element_size=4 + point_size,
+            max_count=reader.remaining // (4 + point_size) + 1,
+        )
+        commitments: dict[tuple[str, str], Point] = {}
+        previous: tuple[str, str] | None = None
+        for _ in range(n_columns):
+            names = []
+            for what in ("table name", "column name"):
+                length = int.from_bytes(reader.take(2, what), "little")
+                try:
+                    names.append(reader.take(length, what).decode())
+                except UnicodeDecodeError:
+                    raise WireFormatError(f"invalid utf-8 in {what}") from None
+            key = (names[0], names[1])
+            if previous is not None and key <= previous:
+                raise WireFormatError("column keys not strictly ascending")
+            previous = key
+            commitments[key] = reader.point(curve, f"column {key}")
+        root = reader.take(32, "merkle root")
+        reader.finish()
+        leaves = [
+            key[0].encode() + b"." + key[1].encode() + b":" + pt.to_bytes()
+            for key, pt in sorted(commitments.items())
+        ]
+        if _merkle_root(leaves) != root:
+            raise WireFormatError("merkle root does not match commitments")
+        return cls(k=k, column_commitments=commitments, root=root)
 
 
 @dataclass

@@ -210,11 +210,20 @@ class Point:
 
     @classmethod
     def from_bytes(cls, curve: Curve, data: bytes) -> "Point":
+        """Strict inverse of :meth:`to_bytes`.
+
+        Rejects bad lengths, non-canonical coordinates (``>= p``, which
+        would silently re-encode to different bytes), and off-curve
+        points; the ``(0, 0)`` encoding is the identity (never a valid
+        affine point when ``b != 0``).
+        """
         size = curve.field._byte_length
         if len(data) != 2 * size:
             raise ValueError("bad point encoding length")
         x = int.from_bytes(data[:size], "little")
         y = int.from_bytes(data[size:], "little")
+        if x >= curve.field.p or y >= curve.field.p:
+            raise ValueError("non-canonical point coordinates")
         if x == 0 and y == 0:
             return cls._identity(curve)
         return curve.point(x, y)

@@ -104,6 +104,11 @@ def multi_verify(
     for (point, group), (proof_point, proof) in zip(groups, openings):
         if point != proof_point:
             return False
+        # Structural rejection before the combining MSM: a proof with a
+        # wrong round count can never verify, so fail before doing the
+        # expensive group arithmetic on attacker-controlled input.
+        if len(proof.rounds) != params.k:
+            return False
         commitments: list[Point] = []
         scalars: list[int] = []
         combined_eval = 0

@@ -1,8 +1,29 @@
-"""The proof container.
+"""The proof container and its wire format.
 
 A :class:`Proof` holds every prover message of the non-interactive
 protocol, in transcript order.  Its byte serialization defines the
-"proof size" metric reported in the paper's Table 4.
+"proof size" metric reported in the paper's Table 4 -- and, more
+importantly, the *adversarial surface*: a verifier only ever receives
+bytes, so :meth:`Proof.from_bytes` is the strict gate every remote
+proof passes through.  Decoding enforces (via
+:class:`repro.wire.ByteReader`):
+
+- the ``PDB2`` version header;
+- element counts that match the verifying key's circuit shape exactly
+  (advice columns, lookups, shuffles, permutation chunks, sigma and
+  system polynomials) and are length-checked against the remaining
+  bytes before any allocation;
+- a quotient-chunk count within the vk's degree-derived bound;
+- canonical scalars (``< p``) and canonical on-curve points;
+- strictly ascending, vk-matching evaluation keys (one canonical
+  encoding per proof -- re-orderings are rejected);
+- IPA openings with exactly ``log2 n`` rounds each;
+- no trailing bytes.
+
+Anything else raises :class:`~repro.wire.WireFormatError`, so
+``Proof.from_bytes(vk, Proof.to_bytes(p)) == p`` and every malformed
+mutation of honest bytes is rejected before the cryptographic checks
+run (exercised exhaustively by :mod:`repro.soundness`).
 """
 
 from __future__ import annotations
@@ -11,6 +32,10 @@ from dataclasses import dataclass, field
 
 from repro.commit.ipa import IpaProof
 from repro.ecc.curve import Point
+from repro.wire import ByteReader, SCALAR_BYTES, WireFormatError, point_wire_size
+
+#: Wire-format version header; bump when the layout changes.
+WIRE_MAGIC = b"PDB2"
 
 
 @dataclass
@@ -85,18 +110,48 @@ class Proof:
         opening_bytes = sum(proof.size_bytes() + 32 for _, proof in self.openings)
         return n_points * 64 + n_scalars * 32 + opening_bytes
 
+    def _scalar_modulus(self) -> int:
+        """The scalar field modulus, recovered from any commitment's
+        curve (every scalar in a proof lives in that field)."""
+        for pt in (
+            self.advice_commitments
+            + self.permutation_z_commitments
+            + self.h_commitments
+        ):
+            return pt.curve.scalar_field.p
+        for part in self.lookup_parts:
+            return part.z_commitment.curve.scalar_field.p
+        for part in self.shuffle_parts:
+            return part.z_commitment.curve.scalar_field.p
+        from repro.algebra.field import SCALAR_FIELD
+
+        return SCALAR_FIELD.p
+
     def to_bytes(self) -> bytes:
-        """Canonical serialization (round-trips are exercised in tests)."""
-        chunks: list[bytes] = []
+        """Canonical wire serialization (format ``PDB2``).
+
+        Scalars are reduced into the scalar field before encoding, so a
+        residue has exactly one byte representation; the strict inverse
+        is :meth:`from_bytes`.  Layout documented in DESIGN.md.
+        """
+        p = self._scalar_modulus()
+        chunks: list[bytes] = [WIRE_MAGIC]
 
         def put_point(pt: Point) -> None:
             chunks.append(pt.to_bytes())
 
         def put_scalar(s: int) -> None:
-            chunks.append((s % (1 << 256)).to_bytes(32, "little"))
+            chunks.append((s % p).to_bytes(SCALAR_BYTES, "little"))
 
         def put_count(c: int) -> None:
             chunks.append(c.to_bytes(4, "little"))
+
+        def put_evals(evals: dict[tuple[int, int], int]) -> None:
+            put_count(len(evals))
+            for (col, rot), v in sorted(evals.items()):
+                put_count(col)
+                put_count(rot % (1 << 32))
+                put_scalar(v)
 
         put_count(len(self.advice_commitments))
         for pt in self.advice_commitments:
@@ -125,19 +180,12 @@ class Proof:
         put_count(len(self.h_commitments))
         for pt in self.h_commitments:
             put_point(pt)
-        put_count(len(self.advice_evals))
-        for (col, rot), v in sorted(self.advice_evals.items()):
-            put_count(col)
-            put_count(rot % (1 << 32))
-            put_scalar(v)
-        put_count(len(self.fixed_evals))
-        for (col, rot), v in sorted(self.fixed_evals.items()):
-            put_count(col)
-            put_count(rot % (1 << 32))
-            put_scalar(v)
+        put_evals(self.advice_evals)
+        put_evals(self.fixed_evals)
         put_count(len(self.sigma_evals))
         for v in self.sigma_evals:
             put_scalar(v)
+        put_count(len(self.system_evals))
         for name in sorted(self.system_evals):
             put_scalar(self.system_evals[name])
         put_count(len(self.permutation_z_evals))
@@ -152,3 +200,161 @@ class Proof:
             put_scalar(point)
             chunks.append(ipa.to_bytes())
         return b"".join(chunks)
+
+    @classmethod
+    def from_bytes(cls, vk, data: bytes) -> "Proof":
+        """Strictly decode proof bytes against a verifying key.
+
+        The vk pins the expected shape (commitment counts, evaluation
+        key sets, quotient-chunk bound, IPA round count); any deviation
+        raises :class:`~repro.wire.WireFormatError`.  This is the only
+        path by which remote bytes become a :class:`Proof`.
+        """
+        from repro.proving.protocol import collect_queries
+
+        curve = vk.params.curve
+        p = vk.field.p
+        cs = vk.cs
+        point_size = point_wire_size(curve)
+        queries = collect_queries(cs)
+
+        reader = ByteReader(data)
+        reader.expect(WIRE_MAGIC, "proof header")
+
+        def exact_count(what: str, expected: int, element_size: int) -> int:
+            got = reader.count(
+                what, element_size=element_size, max_count=expected
+            )
+            if got != expected:
+                raise WireFormatError(
+                    f"{what} count {got} != expected {expected}"
+                )
+            return got
+
+        def read_evals(
+            what: str, expected_keys: list[tuple[int, int]]
+        ) -> dict[tuple[int, int], int]:
+            exact_count(what, len(expected_keys), 8 + SCALAR_BYTES)
+            out: dict[tuple[int, int], int] = {}
+            previous: tuple[int, int] | None = None
+            for _ in expected_keys:
+                key = (reader.u32(f"{what} column"), reader.i32(f"{what} rotation"))
+                if previous is not None and key <= previous:
+                    raise WireFormatError(f"{what} keys not strictly ascending")
+                previous = key
+                out[key] = reader.scalar(p, what)
+            if sorted(out) != sorted(expected_keys):
+                raise WireFormatError(f"{what} keys do not match the circuit")
+            return out
+
+        exact_count("advice commitments", len(cs.advice_columns), point_size)
+        advice_commitments = [
+            reader.point(curve, "advice commitment")
+            for _ in cs.advice_columns
+        ]
+
+        exact_count(
+            "lookup parts", len(cs.lookups), 3 * point_size + 5 * SCALAR_BYTES
+        )
+        lookup_parts = [
+            LookupProofPart(
+                permuted_input_commitment=reader.point(curve, "lookup A'"),
+                permuted_table_commitment=reader.point(curve, "lookup S'"),
+                z_commitment=reader.point(curve, "lookup z"),
+                z_x=reader.scalar(p, "lookup z(x)"),
+                z_wx=reader.scalar(p, "lookup z(wx)"),
+                permuted_input_x=reader.scalar(p, "lookup A'(x)"),
+                permuted_input_winv_x=reader.scalar(p, "lookup A'(x/w)"),
+                permuted_table_x=reader.scalar(p, "lookup S'(x)"),
+            )
+            for _ in cs.lookups
+        ]
+
+        exact_count(
+            "shuffle parts", len(cs.shuffles), point_size + 2 * SCALAR_BYTES
+        )
+        shuffle_parts = [
+            ShuffleProofPart(
+                z_commitment=reader.point(curve, "shuffle z"),
+                z_x=reader.scalar(p, "shuffle z(x)"),
+                z_wx=reader.scalar(p, "shuffle z(wx)"),
+            )
+            for _ in cs.shuffles
+        ]
+
+        n_chunks = len(vk.permutation_chunks)
+        exact_count("permutation z commitments", n_chunks, point_size)
+        permutation_z_commitments = [
+            reader.point(curve, "permutation z commitment")
+            for _ in range(n_chunks)
+        ]
+
+        # The quotient is split into at most 2^(extended_k - k) chunks of
+        # degree < n; a count outside [1, bound] cannot come from an
+        # honest prover and would let a cheat inflate the quotient degree.
+        h_bound = 1 << (vk.extended_k - vk.k)
+        n_h = reader.count(
+            "h commitments", element_size=point_size, max_count=h_bound
+        )
+        if n_h < 1:
+            raise WireFormatError("h commitments count must be at least 1")
+        h_commitments = [
+            reader.point(curve, "h commitment") for _ in range(n_h)
+        ]
+
+        advice_evals = read_evals("advice evals", queries.advice)
+        fixed_evals = read_evals("fixed evals", queries.fixed)
+
+        exact_count("sigma evals", len(vk.sigma_commitments), SCALAR_BYTES)
+        sigma_evals = [
+            reader.scalar(p, "sigma eval") for _ in vk.sigma_commitments
+        ]
+
+        system_names = sorted(vk.system_commitments)
+        exact_count("system evals", len(system_names), SCALAR_BYTES)
+        system_evals = {
+            name: reader.scalar(p, f"system eval {name}")
+            for name in system_names
+        }
+
+        exact_count("permutation z evals", n_chunks, 2 * SCALAR_BYTES)
+        permutation_z_evals: list[dict[str, int]] = []
+        for j in range(n_chunks):
+            keys = ["wx", "x"]
+            if n_chunks > 1 and j < n_chunks - 1:
+                keys = ["chain", "wx", "x"]  # sorted order
+            permutation_z_evals.append(
+                {key: reader.scalar(p, f"permutation z eval {key}") for key in keys}
+            )
+
+        exact_count("h evals", n_h, SCALAR_BYTES)
+        h_evals = [reader.scalar(p, "h eval") for _ in range(n_h)]
+
+        ipa_size = 4 + 2 * vk.params.k * point_size + 2 * SCALAR_BYTES
+        n_openings = reader.count(
+            "openings",
+            element_size=SCALAR_BYTES + ipa_size,
+            max_count=max(1, reader.remaining // (SCALAR_BYTES + ipa_size)),
+        )
+        openings: list[tuple[int, IpaProof]] = []
+        for _ in range(n_openings):
+            point = reader.scalar(p, "opening point")
+            openings.append(
+                (point, IpaProof.read_from(reader, curve, vk.params.k))
+            )
+
+        reader.finish()
+        return cls(
+            advice_commitments=advice_commitments,
+            lookup_parts=lookup_parts,
+            shuffle_parts=shuffle_parts,
+            permutation_z_commitments=permutation_z_commitments,
+            h_commitments=h_commitments,
+            advice_evals=advice_evals,
+            fixed_evals=fixed_evals,
+            sigma_evals=sigma_evals,
+            system_evals=system_evals,
+            permutation_z_evals=permutation_z_evals,
+            h_evals=h_evals,
+            openings=openings,
+        )

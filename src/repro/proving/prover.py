@@ -54,6 +54,7 @@ def create_proof(
     assignment: Assignment,
     timing: ProverTiming | None = None,
     advice_blind_overrides: dict[int, int] | None = None,
+    _faults: object | None = None,
 ) -> Proof:
     """Generate a non-interactive proof for ``assignment``.
 
@@ -64,6 +65,11 @@ def create_proof(
     advice columns (by index) -- database scans use this so the prover
     can reveal the blinding delta that links the advice commitment to
     the public database commitment.
+
+    ``_faults`` is the fault-injection hook for the soundness harness
+    (:class:`repro.soundness.ProverFaults`): it makes the prover emit
+    *structurally deviant but otherwise honestly-computed* proofs that
+    the verifier must still reject.  Never set it in production code.
     """
     t_start = time.perf_counter()
     vk = pk.vk
@@ -478,6 +484,12 @@ def create_proof(
     while len(h_coeffs) > 1 and h_coeffs[-1] == 0:
         h_coeffs.pop()
     pieces = [h_coeffs[i : i + n] for i in range(0, len(h_coeffs), n)] or [[0]]
+    # Fault injection (soundness harness only): pad the quotient with
+    # zero chunks.  The proof stays internally consistent -- every eval
+    # and opening is honest -- so only a structural degree bound in the
+    # verifier can reject it.
+    for _ in range(int(getattr(_faults, "extra_h_chunks", 0) or 0)):
+        pieces.append([0])
     h_blinds = [field.rand() for _ in pieces]
     h_commitments = commit_polynomials(params, list(zip(pieces, h_blinds)))
     transcript.absorb_points(b"h", h_commitments)

@@ -62,6 +62,11 @@ def verify_proof(
         return False
     if len(proof.h_evals) != len(proof.h_commitments):
         return False
+    # The honest quotient splits into at most 2^(extended_k - k) chunks
+    # of degree < n; an unbounded count would let a prover inflate the
+    # quotient degree past what the extended domain determines.
+    if not 1 <= len(proof.h_commitments) <= (1 << (vk.extended_k - vk.k)):
+        return False
     for key in queries.advice:
         if key not in proof.advice_evals:
             return False
@@ -98,14 +103,22 @@ def verify_proof(
     _absorb_evaluations(transcript, proof)
 
     # ---- instance evaluations (computed, not opened) -----------------------
+    # All Lagrange bases at each distinct point are batch-evaluated once
+    # (one batch inversion) and shared across the instance queries at
+    # that point.
     instance_evals: dict[tuple[int, int], int] = {}
+    basis_at_rotation: dict[int, list[int]] = {}
     for ci, rotation in queries.instance:
-        point = domain.rotated_point(x, rotation)
+        basis = basis_at_rotation.get(rotation)
+        if basis is None:
+            point = domain.rotated_point(x, rotation)
+            basis = domain.lagrange_basis_evals(point, usable)
+            basis_at_rotation[rotation] = basis
         value = 0
         column = padded_instance[ci]
         for i in range(usable):
             if column[i]:
-                value = (value + column[i] * domain.lagrange_basis_eval(i, point)) % p
+                value = (value + column[i] * basis[i]) % p
         instance_evals[(ci, rotation)] = value
 
     def query_eval(col: Column, rotation: int) -> int:

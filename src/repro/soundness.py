@@ -1,0 +1,343 @@
+"""Malicious-prover soundness harness.
+
+The completeness tests show honest proofs verify; this module attacks
+the other direction.  A *tamper engine* takes one honest
+``(vk, proof, instance)`` triple and enumerates mutations of the proof,
+asserting every single one is rejected -- either by the strict wire
+decoder (:meth:`repro.proving.proof.Proof.from_bytes`) or by the
+cryptographic checks in :func:`repro.proving.verifier.verify_proof`.
+
+Two mutation families:
+
+**Field-level** (:func:`field_mutators`): every field of the
+:class:`~repro.proving.proof.Proof` dataclass is perturbed through the
+wire path -- points shifted by the curve generator, scalars bumped by
+one, list entries dropped / duplicated / swapped, IPA rounds and final
+scalars tampered.  Structural mutations (wrong counts) must die in the
+decoder; value mutations must die in verification.
+
+**Byte-level** (:func:`byte_mutations`): classes ``bit-flip``,
+``truncate``, ``extend``, ``swap`` and ``duplicate`` applied directly
+to the honest wire bytes, sampling positions with a stride so the sweep
+stays fast at any proof size.  Swaps of equal bytes are skipped -- they
+reproduce the honest encoding and would be false "accepts".
+
+:func:`run_tamper_suite` drives both families and returns a
+:class:`TamperReport`; the acceptance criterion everywhere is
+``report.accepted == []``.
+
+The harness also exposes :class:`ProverFaults`, a fault-injection knob
+consumed by ``create_proof(..., _faults=...)`` to produce *honestly
+computed but structurally out-of-spec* proofs (e.g. zero-padded
+quotient chunks beyond the vk bound) -- the regression vector for the
+h-chunk bound check, which byte mutations alone cannot reach because
+the honest prover never emits such bytes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.proving.proof import Proof
+from repro.proving.verifier import verify_proof
+from repro.wire import WireFormatError
+
+
+@dataclass
+class ProverFaults:
+    """Fault-injection switches for ``create_proof(..., _faults=...)``.
+
+    Never set in production; exists so soundness tests can make an
+    otherwise-honest prover emit structurally deviant proofs.
+
+    ``extra_h_chunks``: append this many zero quotient chunks after the
+    honest split.  The zero chunks do not change the quotient
+    polynomial, so a verifier without the chunk-count bound accepts the
+    proof -- the bound check is what rejects it.
+    """
+
+    extra_h_chunks: int = 0
+
+
+@dataclass
+class TamperReport:
+    """Outcome of one tamper sweep."""
+
+    total: int = 0
+    rejected_decode: int = 0
+    rejected_verify: int = 0
+    #: labels of mutations that VERIFIED -- soundness bugs; must be [].
+    accepted: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} mutations: {self.rejected_decode} rejected at "
+            f"decode, {self.rejected_verify} rejected at verify, "
+            f"{len(self.accepted)} ACCEPTED in "
+            f"{self.elapsed_seconds:.1f}s"
+        )
+
+
+# -- field-level mutations --------------------------------------------------
+
+Mutator = Callable[[Proof], None]
+
+
+def _shift(pt):
+    """A different valid point: the input shifted by the generator."""
+    return pt + pt.curve.generator
+
+
+def field_mutators(template: Proof) -> Iterator[tuple[str, Mutator]]:
+    """Yield ``(label, mutate)`` pairs covering every Proof field.
+
+    ``template`` is only inspected for shape (list lengths, dict keys);
+    each mutator is applied to a *fresh* decode of the honest bytes.
+    """
+
+    def point_list(name: str, length: int):
+        for i in range(length):
+            yield (
+                f"{name}[{i}]+G",
+                lambda pr, i=i: getattr(pr, name).__setitem__(
+                    i, _shift(getattr(pr, name)[i])
+                ),
+            )
+        if length:
+            yield f"{name}.drop", lambda pr: getattr(pr, name).pop()
+            yield (
+                f"{name}.dup",
+                lambda pr: getattr(pr, name).append(getattr(pr, name)[-1]),
+            )
+        if length >= 2:
+            def swap(pr, name=name):
+                lst = getattr(pr, name)
+                lst[0], lst[-1] = lst[-1], lst[0]
+
+            if template and getattr(template, name)[0] != getattr(
+                template, name
+            )[-1]:
+                yield f"{name}.swap", swap
+
+    yield from point_list("advice_commitments", len(template.advice_commitments))
+    yield from point_list(
+        "permutation_z_commitments", len(template.permutation_z_commitments)
+    )
+    yield from point_list("h_commitments", len(template.h_commitments))
+
+    for i in range(len(template.lookup_parts)):
+        for attr in (
+            "permuted_input_commitment",
+            "permuted_table_commitment",
+            "z_commitment",
+        ):
+            yield (
+                f"lookup[{i}].{attr}+G",
+                lambda pr, i=i, attr=attr: setattr(
+                    pr.lookup_parts[i], attr, _shift(getattr(pr.lookup_parts[i], attr))
+                ),
+            )
+        for attr in (
+            "z_x",
+            "z_wx",
+            "permuted_input_x",
+            "permuted_input_winv_x",
+            "permuted_table_x",
+        ):
+            yield (
+                f"lookup[{i}].{attr}+1",
+                lambda pr, i=i, attr=attr: setattr(
+                    pr.lookup_parts[i], attr, getattr(pr.lookup_parts[i], attr) + 1
+                ),
+            )
+
+    for i in range(len(template.shuffle_parts)):
+        yield (
+            f"shuffle[{i}].z_commitment+G",
+            lambda pr, i=i: setattr(
+                pr.shuffle_parts[i],
+                "z_commitment",
+                _shift(pr.shuffle_parts[i].z_commitment),
+            ),
+        )
+        for attr in ("z_x", "z_wx"):
+            yield (
+                f"shuffle[{i}].{attr}+1",
+                lambda pr, i=i, attr=attr: setattr(
+                    pr.shuffle_parts[i], attr, getattr(pr.shuffle_parts[i], attr) + 1
+                ),
+            )
+
+    for field_name in ("advice_evals", "fixed_evals", "system_evals"):
+        for key in getattr(template, field_name):
+            yield (
+                f"{field_name}[{key}]+1",
+                lambda pr, field_name=field_name, key=key: getattr(
+                    pr, field_name
+                ).__setitem__(key, getattr(pr, field_name)[key] + 1),
+            )
+
+    for list_name in ("sigma_evals", "h_evals"):
+        for i in range(len(getattr(template, list_name))):
+            yield (
+                f"{list_name}[{i}]+1",
+                lambda pr, list_name=list_name, i=i: getattr(
+                    pr, list_name
+                ).__setitem__(i, getattr(pr, list_name)[i] + 1),
+            )
+        if getattr(template, list_name):
+            yield (
+                f"{list_name}.drop",
+                lambda pr, list_name=list_name: getattr(pr, list_name).pop(),
+            )
+
+    for i, entry in enumerate(template.permutation_z_evals):
+        for key in entry:
+            yield (
+                f"permutation_z_evals[{i}][{key}]+1",
+                lambda pr, i=i, key=key: pr.permutation_z_evals[i].__setitem__(
+                    key, pr.permutation_z_evals[i][key] + 1
+                ),
+            )
+
+    for i, (_, ipa) in enumerate(template.openings):
+        yield (
+            f"openings[{i}].point+1",
+            lambda pr, i=i: pr.openings.__setitem__(
+                i, (pr.openings[i][0] + 1, pr.openings[i][1])
+            ),
+        )
+        yield (
+            f"openings[{i}].a+1",
+            lambda pr, i=i: setattr(
+                pr.openings[i][1], "a", pr.openings[i][1].a + 1
+            ),
+        )
+        yield (
+            f"openings[{i}].blind+1",
+            lambda pr, i=i: setattr(
+                pr.openings[i][1], "blind", pr.openings[i][1].blind + 1
+            ),
+        )
+        for j in range(len(ipa.rounds)):
+            for side, idx in (("L", 0), ("R", 1)):
+                def tamper_round(pr, i=i, j=j, idx=idx):
+                    left, right = pr.openings[i][1].rounds[j]
+                    pair = [left, right]
+                    pair[idx] = _shift(pair[idx])
+                    pr.openings[i][1].rounds[j] = (pair[0], pair[1])
+
+                yield f"openings[{i}].rounds[{j}].{side}+G", tamper_round
+        yield (
+            f"openings[{i}].rounds.drop",
+            lambda pr, i=i: pr.openings[i][1].rounds.pop(),
+        )
+    if template.openings:
+        yield "openings.drop", lambda pr: pr.openings.pop()
+    if len(template.openings) >= 2:
+        def swap_openings(pr):
+            pr.openings[0], pr.openings[-1] = pr.openings[-1], pr.openings[0]
+
+        yield "openings.swap", swap_openings
+
+
+# -- byte-level mutations ---------------------------------------------------
+
+
+def byte_mutations(
+    data: bytes, stride: int | None = None
+) -> Iterator[tuple[str, bytes]]:
+    """Yield ``(label, mutated_bytes)`` for every mutation class.
+
+    ``stride`` controls how many byte positions are sampled (default:
+    about 40 positions spread over the proof); every class is exercised
+    at the start, middle, and end regardless of stride.
+    """
+    n = len(data)
+    if stride is None:
+        stride = max(1, n // 40)
+    positions = sorted(set(range(0, n, stride)) | {0, 1, n // 2, n - 1})
+
+    for i in positions:
+        flipped = bytearray(data)
+        flipped[i] ^= 1 << (i % 8)
+        yield f"bit-flip@{i}.{i % 8}", bytes(flipped)
+
+    for cut in sorted({n - 1, n - 32, n - 64, n // 2, 4, 0}):
+        if 0 <= cut < n:
+            yield f"truncate->{cut}", data[:cut]
+
+    yield "extend+1zero", data + b"\x00"
+    yield "extend+32ff", data + b"\xff" * 32
+    yield "extend+self-prefix", data + data[:17]
+
+    for i in positions:
+        j = (i + max(1, n // 3)) % n
+        if i != j and data[i] != data[j]:
+            swapped = bytearray(data)
+            swapped[i], swapped[j] = swapped[j], swapped[i]
+            yield f"swap@{min(i, j)}<->{max(i, j)}", bytes(swapped)
+
+    for i in positions[:: max(1, len(positions) // 8)]:
+        yield f"duplicate@{i}", data[: i + 1] + data[i:]
+
+
+# -- the driver -------------------------------------------------------------
+
+
+def check_tampered_bytes(vk, data: bytes, instance: list[list[int]]) -> str:
+    """Classify one mutated byte string: ``"decode"`` (rejected by the
+    wire gate), ``"verify"`` (decoded but cryptographically rejected),
+    or ``"accepted"`` (a soundness failure)."""
+    try:
+        proof = Proof.from_bytes(vk, data)
+    except WireFormatError:
+        return "decode"
+    return "accepted" if verify_proof(vk, proof, instance) else "verify"
+
+
+def run_tamper_suite(
+    vk,
+    proof: Proof,
+    instance: list[list[int]],
+    *,
+    stride: int | None = None,
+    include_field_level: bool = True,
+    include_byte_level: bool = True,
+) -> TamperReport:
+    """Run the full tamper sweep against one honest proof.
+
+    The honest bytes are round-trip-checked first (decode must succeed
+    and verify must accept), then every mutation must be rejected.
+    """
+    t0 = time.perf_counter()
+    report = TamperReport()
+    honest = proof.to_bytes()
+    if check_tampered_bytes(vk, honest, instance) != "accepted":
+        raise AssertionError("honest proof failed its own wire round-trip")
+
+    def record(label: str, outcome: str) -> None:
+        report.total += 1
+        if outcome == "decode":
+            report.rejected_decode += 1
+        elif outcome == "verify":
+            report.rejected_verify += 1
+        else:
+            report.accepted.append(label)
+
+    if include_field_level:
+        template = Proof.from_bytes(vk, honest)
+        for label, mutate in field_mutators(template):
+            victim = Proof.from_bytes(vk, honest)
+            mutate(victim)
+            record(f"field:{label}", check_tampered_bytes(vk, victim.to_bytes(), instance))
+
+    if include_byte_level:
+        for label, mutated in byte_mutations(honest, stride):
+            record(f"bytes:{label}", check_tampered_bytes(vk, mutated, instance))
+
+    report.elapsed_seconds = time.perf_counter() - t0
+    return report

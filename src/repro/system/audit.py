@@ -18,6 +18,7 @@ from repro.db.commitment import (
     audit_commitment,
 )
 from repro.db.database import Database
+from repro.wire import WireFormatError
 
 
 @dataclass
@@ -36,7 +37,21 @@ def audit(
     params: PublicParams,
 ) -> AuditCertificate:
     """Recompute every column commitment from the raw database and the
-    prover's disclosed randomness; attest the published root."""
+    prover's disclosed randomness; attest the published root.
+
+    The commitment is first round-tripped through its wire encoding
+    (:meth:`DatabaseCommitment.to_bytes` / ``from_bytes``): an auditor
+    receives the commitment over the wire, so the attestation must cover
+    exactly what decodes -- including the Merkle-root consistency check
+    baked into ``from_bytes``."""
+    try:
+        commitment = DatabaseCommitment.from_bytes(
+            params.curve, commitment.to_bytes()
+        )
+    except WireFormatError as exc:
+        return AuditCertificate(
+            commitment.root, False, f"commitment decode failed: {exc}"
+        )
     try:
         fit = params.truncated(commitment.k) if params.k > commitment.k else params
         ok = audit_commitment(db, commitment, secrets, fit)

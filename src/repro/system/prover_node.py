@@ -48,7 +48,13 @@ class ScanLinkProof:
 
 @dataclass
 class QueryResponse:
-    """What the prover sends back: result + proof + binding evidence."""
+    """What the prover sends back: result + proof + binding evidence.
+
+    ``proof_bytes`` is the wire serialization the verifier actually
+    consumes -- the in-memory ``proof`` object is prover-side
+    convenience (timing, inspection) and is never trusted by
+    :class:`~repro.system.verifier_node.VerifierNode`.
+    """
 
     sql: str
     result_encoded: list[list[int]]
@@ -56,12 +62,17 @@ class QueryResponse:
     column_names: list[str]
     proof: Proof
     scan_links: list[ScanLinkProof]
+    proof_bytes: bytes = b""
     timing: ProverTiming = field(default_factory=ProverTiming)
     circuit_summary: dict[str, int] = field(default_factory=dict)
 
+    def wire_bytes(self) -> bytes:
+        """The serialized proof: what a remote prover would transmit."""
+        return self.proof_bytes or self.proof.to_bytes()
+
     @property
     def proof_size_bytes(self) -> int:
-        return self.proof.size_bytes()
+        return len(self.proof_bytes) if self.proof_bytes else self.proof.size_bytes()
 
 
 class ProverNode:
@@ -206,6 +217,7 @@ class ProverNode:
             result=decoded,
             column_names=[meta.name for meta in compiled.outputs],
             proof=proof,
+            proof_bytes=proof.to_bytes(),
             scan_links=links,
             timing=timing,
             circuit_summary=compiled.cs.summary(),

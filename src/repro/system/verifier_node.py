@@ -5,10 +5,14 @@ Workflow (paper Figure 2, phase 5) plus the binding checks:
 1. Recompile the query circuit from public metadata only and
    regenerate the verifying key (deterministic keygen -- no trust in
    prover-supplied keys).
-2. Check every scan link: the proof's advice commitment for a scanned
+2. Decode the proof from its **wire bytes** with strict validation
+   (:meth:`repro.proving.proof.Proof.from_bytes`) -- the verifier never
+   trusts the prover's in-memory proof object, so this path exercises
+   exactly what a remote prover could send.
+3. Check every scan link: the proof's advice commitment for a scanned
    column must equal the published database column commitment shifted
    by ``delta * W`` -- binding the proof to the committed database.
-3. Verify the proof against the claimed result (instance columns).
+4. Verify the proof against the claimed result (instance columns).
 """
 
 from __future__ import annotations
@@ -21,8 +25,10 @@ from repro.commit.params import PublicParams
 from repro.db.commitment import DatabaseCommitment
 from repro.plonkish.assignment import Assignment
 from repro.proving.keygen import finalize_fixed, keygen
+from repro.proving.proof import Proof
 from repro.proving.recursion import Accumulator
 from repro.proving.verifier import verify_proof
+from repro.wire import WireFormatError
 from repro.sql.compiler import QueryCompiler
 from repro.sql.parser import parse
 from repro.sql.planner import Planner
@@ -57,6 +63,27 @@ class VerifierNode:
         self._shell = shell_database(metadata)
         self._planner = Planner(self._shell)
 
+    def rebuild_verifying_key(self, sql: str, result_rows: int):
+        """Recompile ``sql`` from public metadata and regenerate the
+        verifying key (deterministic keygen; no trust in the prover).
+
+        Returns ``(compiled, vk)``.  Raises on malformed queries.
+        """
+        query = parse(sql)
+        plan = self._planner.plan(query)
+        compiled = QueryCompiler(
+            self._shell,
+            self.metadata.k,
+            self.metadata.limb_bits,
+            self.metadata.value_bits,
+            self.metadata.key_bits,
+        ).compile(plan)
+        asg = Assignment(compiled.cs, self.field, self.metadata.k)
+        compiled.assign_public(asg, result_rows)
+        pk = keygen(self.params, compiled.cs, self.field, self.metadata.k)
+        finalize_fixed(pk, asg)
+        return compiled, pk.vk
+
     def verify(
         self,
         response: QueryResponse,
@@ -64,15 +91,9 @@ class VerifierNode:
     ) -> VerificationReport:
         t0 = time.perf_counter()
         try:
-            query = parse(response.sql)
-            plan = self._planner.plan(query)
-            compiled = QueryCompiler(
-                self._shell,
-                self.metadata.k,
-                self.metadata.limb_bits,
-                self.metadata.value_bits,
-                self.metadata.key_bits,
-            ).compile(plan)
+            compiled, vk = self.rebuild_verifying_key(
+                response.sql, len(response.result_encoded)
+            )
         except Exception as exc:  # malformed query == reject
             return VerificationReport(False, f"recompilation failed: {exc}")
 
@@ -86,6 +107,18 @@ class VerifierNode:
         if len(response.result_encoded) > compiled.usable_rows:
             return VerificationReport(False, "result exceeds circuit capacity")
 
+        # Decode the proof from wire bytes -- the only trusted source.
+        wire = response.wire_bytes()
+        try:
+            proof = Proof.from_bytes(vk, wire)
+        except WireFormatError as exc:
+            return VerificationReport(
+                False,
+                f"proof decode failed: {exc}",
+                time.perf_counter() - t0,
+                len(wire),
+            )
+
         # Scan links: advice commitment == db column commitment + delta*W.
         expected_links = {
             (l.advice_index, l.table, l.column) for l in compiled.scan_links
@@ -93,14 +126,14 @@ class VerifierNode:
         for link in response.scan_links:
             if (link.advice_index, link.table, link.column) not in expected_links:
                 return VerificationReport(False, "unexpected scan link")
-            if link.advice_index >= len(response.proof.advice_commitments):
+            if link.advice_index >= len(proof.advice_commitments):
                 return VerificationReport(False, "scan link out of range")
             db_commit = self.commitment.column_commitments.get(
                 (link.table, link.column)
             )
             if db_commit is None:
                 return VerificationReport(False, "column not in commitment")
-            advice_commit = response.proof.advice_commitments[link.advice_index]
+            advice_commit = proof.advice_commitments[link.advice_index]
             if advice_commit != db_commit + self.params.w * link.delta:
                 return VerificationReport(
                     False,
@@ -108,17 +141,9 @@ class VerifierNode:
                     "proof was not computed over the committed database",
                 )
 
-        # Regenerate the verifying key from public fixed columns.
-        asg = Assignment(compiled.cs, self.field, self.metadata.k)
-        compiled.assign_public(asg, len(response.result_encoded))
-        pk = keygen(self.params, compiled.cs, self.field, self.metadata.k)
-        finalize_fixed(pk, asg)
-
         instance = compiled.instance_vectors(response.result_encoded)
-        ok = verify_proof(pk.vk, response.proof, instance, accumulator)
+        ok = verify_proof(vk, proof, instance, accumulator)
         elapsed = time.perf_counter() - t0
         if not ok:
-            return VerificationReport(
-                False, "proof rejected", elapsed, response.proof_size_bytes
-            )
-        return VerificationReport(True, "", elapsed, response.proof_size_bytes)
+            return VerificationReport(False, "proof rejected", elapsed, len(wire))
+        return VerificationReport(True, "", elapsed, len(wire))

@@ -10,6 +10,12 @@ proof fails to verify.
 The sponge is a simple BLAKE2b chain: absorbing hashes
 ``state || label || data`` into a new state; squeezing hashes
 ``state || counter`` into 64 bytes reduced into the scalar field.
+
+Variable-length absorptions (:meth:`Transcript.absorb_scalars`,
+:meth:`Transcript.absorb_points`) are framed with an element-count
+prefix so two different lists can never concatenate to the same byte
+stream across absorption boundaries -- the domain label is ``v2`` to
+separate this framing from the unframed ``v1`` encoding.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ class Transcript:
     def __init__(self, label: bytes, field: Field = SCALAR_FIELD):
         self.field = field
         self._state = hashlib.blake2b(
-            b"poneglyphdb-transcript-v1:" + label, digest_size=64
+            b"poneglyphdb-transcript-v2:" + label, digest_size=64
         ).digest()
         self._counter = 0
 
@@ -48,13 +54,14 @@ class Transcript:
 
     def absorb_scalars(self, label: bytes, values: list[int]) -> None:
         joined = b"".join(self.field.to_bytes(v) for v in values)
-        self.absorb_bytes(label, joined)
+        self.absorb_bytes(label, len(values).to_bytes(4, "little") + joined)
 
     def absorb_point(self, label: bytes, point: Point) -> None:
         self.absorb_bytes(label, point.to_bytes())
 
     def absorb_points(self, label: bytes, points: list[Point]) -> None:
-        self.absorb_bytes(label, b"".join(pt.to_bytes() for pt in points))
+        joined = b"".join(pt.to_bytes() for pt in points)
+        self.absorb_bytes(label, len(points).to_bytes(4, "little") + joined)
 
     # -- squeezing -----------------------------------------------------------
 

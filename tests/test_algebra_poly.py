@@ -160,6 +160,23 @@ class TestEvaluationDomain:
         total = sum(domain.lagrange_basis_eval(i, x) for i in range(8)) % F.p
         assert total == 1
 
+    def test_lagrange_basis_evals_batch_matches_scalar(self):
+        domain = EvaluationDomain(F, 3)
+        # Off-domain point: one batch inversion, same values.
+        x = 987
+        batch = domain.lagrange_basis_evals(x, 8)
+        assert batch == [domain.lagrange_basis_eval(i, x) for i in range(8)]
+        # On-domain point: the indicator-vector path.
+        elements = domain.elements()
+        batch = domain.lagrange_basis_evals(elements[5], 8)
+        assert batch == [1 if i == 5 else 0 for i in range(8)]
+        # Partial count.
+        assert domain.lagrange_basis_evals(x, 3) == batch_prefix(domain, x, 3)
+
+
+def batch_prefix(domain, x, count):
+    return [domain.lagrange_basis_eval(i, x) for i in range(count)]
+
     def test_domain_exceeding_two_adicity_rejected(self):
         with pytest.raises(ValueError):
             EvaluationDomain(F, 33)

@@ -87,6 +87,20 @@ class TestSerialization:
         with pytest.raises(ValueError):
             Point.from_bytes(PALLAS, bytes(data))
 
+    def test_noncanonical_coordinate_rejected(self):
+        # x + p is the same residue but a different byte string; the
+        # decoder must admit exactly one encoding per point.
+        x, y = (PALLAS.generator * 3).to_affine()
+        p = PALLAS.field.p
+        good = x.to_bytes(32, "little") + y.to_bytes(32, "little")
+        assert Point.from_bytes(PALLAS, good) == PALLAS.generator * 3
+        for bad in (
+            (x + p).to_bytes(32, "little") + y.to_bytes(32, "little"),
+            x.to_bytes(32, "little") + (y + p).to_bytes(32, "little"),
+        ):
+            with pytest.raises(ValueError, match="non-canonical"):
+                Point.from_bytes(PALLAS, bad)
+
     def test_batch_to_affine(self, rng):
         points = [PALLAS.generator * rng.randrange(1, 10**9) for _ in range(9)]
         points.append(PALLAS.identity())

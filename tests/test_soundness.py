@@ -1,0 +1,329 @@
+"""Malicious-prover soundness: wire round-trips and the tamper harness.
+
+The proving-system tests show honest proofs verify; this suite attacks
+the byte boundary.  Every proof field and every byte-mutation class
+must be rejected, the h-chunk bound and scalar canonicality each have
+a dedicated regression (they pass trivially on code without the fix),
+and a small TPC-H query exercises the same sweep end-to-end.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import SCALAR_FIELD
+from repro.commit import setup
+from repro.commit.ipa import IpaProof
+from repro.config import ProverConfig
+from repro.plonkish import Assignment, ConstraintSystem
+from repro.proving import create_proof, keygen, verify_proof
+from repro.proving.keygen import finalize_fixed
+from repro.proving.proof import Proof, WIRE_MAGIC
+from repro.soundness import (
+    ProverFaults,
+    byte_mutations,
+    check_tampered_bytes,
+    field_mutators,
+    run_tamper_suite,
+)
+from repro.wire import WireFormatError
+
+F = SCALAR_FIELD
+K = 5
+
+
+def build_circuit():
+    """The paper's Example 2.1 pipeline f(x,y,z) = 3*(x+y)*z with a
+    4-bit range lookup and copy constraints (mirrors test_proving)."""
+    cs = ConstraintSystem()
+    q_add = cs.selector("q_add")
+    q_mul = cs.selector("q_mul")
+    q_range = cs.selector("q_range")
+    q_out = cs.selector("q_out")
+    table = cs.fixed_column("range_table")
+    a = cs.advice_column("a")
+    b = cs.advice_column("b")
+    c = cs.advice_column("c")
+    out = cs.instance_column("out")
+    cs.create_gate("add", [q_add.cur() * (a.cur() + b.cur() - c.cur())])
+    cs.create_gate("mul", [q_mul.cur() * (a.cur() * b.cur() - c.cur())])
+    cs.create_gate("out", [q_out.cur() * (c.cur() - out.cur())])
+    cs.add_lookup("range16", [q_range.cur() * a.cur()], [table.cur()])
+    cs.copy(c, 0, b, 1)
+    cs.copy(c, 1, b, 2)
+    return cs, dict(
+        q_add=q_add, q_mul=q_mul, q_range=q_range, q_out=q_out,
+        table=table, a=a, b=b, c=c, out=out,
+    )
+
+
+def assign_circuit(cs, cols, x=7, y=11, z=13):
+    asg = Assignment(cs, F, K)
+    asg.assign_column(cols["table"], list(range(16)))
+    asg.assign(cols["q_add"], 0, 1)
+    asg.assign(cols["a"], 0, x)
+    asg.assign(cols["b"], 0, y)
+    asg.assign(cols["c"], 0, x + y)
+    asg.assign(cols["q_range"], 0, 1)
+    asg.assign(cols["q_mul"], 1, 1)
+    asg.assign(cols["a"], 1, z)
+    asg.assign(cols["b"], 1, x + y)
+    asg.assign(cols["c"], 1, (x + y) * z)
+    asg.assign(cols["q_mul"], 2, 1)
+    asg.assign(cols["a"], 2, 3)
+    asg.assign(cols["b"], 2, (x + y) * z)
+    result = 3 * (x + y) * z
+    asg.assign(cols["c"], 2, result)
+    asg.assign(cols["q_out"], 2, 1)
+    asg.assign(cols["out"], 2, result)
+    return asg, result
+
+
+@pytest.fixture(scope="module")
+def params():
+    return setup(K)
+
+
+@pytest.fixture(scope="module")
+def proven(params):
+    """One honest (pk, asg, proof, instance) shared by read-only tests."""
+    cs, cols = build_circuit()
+    asg, _ = assign_circuit(cs, cols)
+    pk = keygen(params, cs, F, K)
+    finalize_fixed(pk, asg)
+    proof = create_proof(pk, asg)
+    instance = [asg.instance_values(cols["out"])[: asg.usable_rows]]
+    assert verify_proof(pk.vk, proof, instance)
+    return pk, asg, proof, instance
+
+
+class TestRoundTrip:
+    def test_from_bytes_inverts_to_bytes(self, proven):
+        pk, _, proof, _ = proven
+        data = proof.to_bytes()
+        decoded = Proof.from_bytes(pk.vk, data)
+        assert decoded == proof
+        assert decoded.to_bytes() == data
+
+    def test_decoded_proof_verifies(self, proven):
+        pk, _, proof, instance = proven
+        decoded = Proof.from_bytes(pk.vk, proof.to_bytes())
+        assert verify_proof(pk.vk, decoded, instance)
+
+    def test_trailing_byte_rejected(self, proven):
+        pk, _, proof, _ = proven
+        with pytest.raises(WireFormatError, match="trailing"):
+            Proof.from_bytes(pk.vk, proof.to_bytes() + b"\x00")
+
+    def test_bad_magic_rejected(self, proven):
+        pk, _, proof, _ = proven
+        data = proof.to_bytes()
+        with pytest.raises(WireFormatError):
+            Proof.from_bytes(pk.vk, b"PDB1" + data[len(WIRE_MAGIC):])
+
+    def test_empty_and_tiny_inputs_rejected(self, proven):
+        pk, *_ = proven
+        for data in (b"", WIRE_MAGIC, WIRE_MAGIC + b"\xff" * 3):
+            with pytest.raises(WireFormatError):
+                Proof.from_bytes(pk.vk, data)
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        x=st.integers(min_value=0, max_value=15),
+        y=st.integers(min_value=0, max_value=2**32),
+        z=st.integers(min_value=0, max_value=2**32),
+    )
+    def test_roundtrip_property_over_random_witnesses(self, params, x, y, z):
+        """from_bytes(to_bytes(p)) == p for proofs over arbitrary
+        witnesses (fresh blinding every example)."""
+        cs, cols = build_circuit()
+        asg, _ = assign_circuit(cs, cols, x=x, y=y, z=z)
+        pk = keygen(params, cs, F, K)
+        finalize_fixed(pk, asg)
+        proof = create_proof(pk, asg)
+        data = proof.to_bytes()
+        decoded = Proof.from_bytes(pk.vk, data)
+        assert decoded == proof
+        assert decoded.to_bytes() == data
+
+
+class TestFieldLevelTampering:
+    def test_every_field_mutation_rejected(self, proven):
+        pk, _, proof, instance = proven
+        report = run_tamper_suite(
+            pk.vk, proof, instance, include_byte_level=False
+        )
+        assert report.accepted == [], report.summary()
+        # The sweep must actually cover the proof: every commitment
+        # list, every eval, every IPA round.
+        assert report.total > 60, report.summary()
+        assert report.rejected_decode > 0  # structural mutations
+        assert report.rejected_verify > 0  # value mutations
+
+    def test_mutators_cover_all_proof_fields(self, proven):
+        pk, _, proof, _ = proven
+        labels = " ".join(label for label, _ in field_mutators(proof))
+        for field_name in (
+            "advice_commitments", "lookup", "permutation_z_commitments",
+            "h_commitments", "advice_evals", "fixed_evals", "sigma_evals",
+            "system_evals", "permutation_z_evals", "h_evals", "openings",
+        ):
+            assert field_name in labels, f"no mutator touches {field_name}"
+
+
+class TestByteLevelTampering:
+    def test_every_byte_mutation_rejected(self, proven):
+        pk, _, proof, instance = proven
+        report = run_tamper_suite(
+            pk.vk, proof, instance, include_field_level=False
+        )
+        assert report.accepted == [], report.summary()
+        assert report.total > 50, report.summary()
+
+    def test_all_mutation_classes_present(self, proven):
+        _, _, proof, _ = proven
+        labels = [label for label, _ in byte_mutations(proof.to_bytes())]
+        for cls in ("bit-flip", "truncate", "extend", "swap", "duplicate"):
+            assert any(label.startswith(cls) for label in labels), cls
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_random_bit_flip_rejected(self, proven, data):
+        pk, _, proof, instance = proven
+        honest = proof.to_bytes()
+        pos = data.draw(st.integers(min_value=0, max_value=len(honest) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        flipped = bytearray(honest)
+        flipped[pos] ^= 1 << bit
+        outcome = check_tampered_bytes(pk.vk, bytes(flipped), instance)
+        assert outcome in ("decode", "verify")
+
+
+class TestQuotientChunkBound:
+    """Regression: an honestly-computed proof whose quotient is padded
+    with zero chunks beyond the vk-derived bound must be rejected.  On
+    code without the bound check the padded proof verifies (the zero
+    chunks change nothing algebraically), so both assertions fail."""
+
+    def test_padded_quotient_rejected(self, proven):
+        pk, asg, _, instance = proven
+        bound = 1 << (pk.vk.extended_k - pk.vk.k)
+        padded = create_proof(
+            pk, asg, _faults=ProverFaults(extra_h_chunks=bound)
+        )
+        assert len(padded.h_commitments) > bound  # the fault took effect
+        assert not verify_proof(pk.vk, padded, instance)
+        with pytest.raises(WireFormatError, match="h commitments"):
+            Proof.from_bytes(pk.vk, padded.to_bytes())
+
+    def test_unpadded_control_still_verifies(self, proven):
+        pk, asg, _, instance = proven
+        proof = create_proof(pk, asg, _faults=ProverFaults(extra_h_chunks=0))
+        assert verify_proof(pk.vk, proof, instance)
+
+
+class TestCanonicalScalars:
+    """Regression: scalars must serialize reduced mod p and deserialize
+    only if < p.  The old encoder wrote ``s % 2^256`` (two encodings per
+    residue) and nothing rejected the non-canonical one."""
+
+    def test_ipa_to_bytes_reduces_mod_p(self, proven):
+        _, _, proof, _ = proven
+        _, ipa = proof.openings[0]
+        p = ipa.rounds[0][0].curve.scalar_field.p
+        shifted = IpaProof(rounds=ipa.rounds, a=ipa.a + p, blind=ipa.blind + p)
+        assert shifted.to_bytes() == ipa.to_bytes()
+
+    def test_ipa_from_bytes_rejects_noncanonical_scalar(self, params):
+        curve = params.curve
+        p = curve.scalar_field.p
+
+        def encode(a, blind):
+            return (
+                (0).to_bytes(4, "little")
+                + a.to_bytes(32, "little")
+                + blind.to_bytes(32, "little")
+            )
+
+        ok = IpaProof.from_bytes(curve, encode(p - 1, 0))
+        assert ok.a == p - 1
+        with pytest.raises(WireFormatError, match="non-canonical"):
+            IpaProof.from_bytes(curve, encode(p, 0))
+        with pytest.raises(WireFormatError, match="non-canonical"):
+            IpaProof.from_bytes(curve, encode(0, p))
+
+    def test_ipa_from_bytes_roundtrip(self, proven):
+        _, _, proof, _ = proven
+        _, ipa = proof.openings[0]
+        curve = ipa.rounds[0][0].curve
+        decoded = IpaProof.from_bytes(curve, ipa.to_bytes(), len(ipa.rounds))
+        assert decoded == ipa
+        with pytest.raises(WireFormatError):
+            IpaProof.from_bytes(curve, ipa.to_bytes() + b"\x00")
+
+    def test_proof_bytes_noncanonical_scalar_rejected(self, proven):
+        pk, _, proof, _ = proven
+        data = proof.to_bytes()
+        # The final 32 bytes are the last opening's blind scalar.
+        v = int.from_bytes(data[-32:], "little")
+        assert v < F.p
+        tampered = data[:-32] + (v + F.p).to_bytes(32, "little")
+        with pytest.raises(WireFormatError, match="non-canonical"):
+            Proof.from_bytes(pk.vk, tampered)
+
+    def test_proof_object_noncanonical_eval_serializes_canonically(
+        self, proven
+    ):
+        pk, _, proof, _ = proven
+        data = proof.to_bytes()
+        shifted = Proof.from_bytes(pk.vk, data)
+        shifted.sigma_evals[0] += F.p
+        assert shifted.to_bytes() == data
+
+
+TPCH_K = 7
+TPCH_SQL = "select count(*) as n from nation where n_regionkey >= 2"
+
+
+@pytest.fixture(scope="module")
+def tpch_proven():
+    """A proved query over a small TPC-H instance, plus the verifier's
+    independently-rebuilt vk and instance vectors."""
+    from repro.api import PoneglyphDB
+    from repro.tpch import generate
+
+    db = generate(64, seed=11)
+    config = ProverConfig(
+        k=TPCH_K, limb_bits=4, value_bits=24, key_bits=16, use_cache=False
+    )
+    with PoneglyphDB.open(db, config) as session:
+        session.commit()
+        response = session.prove(TPCH_SQL)
+        report = session.verify(response)
+        assert report.accepted, report.reason
+        verifier = session.verifier()
+        compiled, vk = verifier.rebuild_verifying_key(
+            response.sql, len(response.result_encoded)
+        )
+        instance = compiled.instance_vectors(response.result_encoded)
+        return vk, response, instance
+
+
+class TestTpchSoundness:
+    def test_wire_roundtrip(self, tpch_proven):
+        vk, response, _ = tpch_proven
+        decoded = Proof.from_bytes(vk, response.wire_bytes())
+        assert decoded == response.proof
+        assert decoded.to_bytes() == response.wire_bytes()
+
+    def test_sampled_byte_mutations_rejected(self, tpch_proven):
+        vk, response, instance = tpch_proven
+        proof = Proof.from_bytes(vk, response.wire_bytes())
+        report = run_tamper_suite(
+            vk,
+            proof,
+            instance,
+            include_field_level=False,
+            stride=max(1, len(response.wire_bytes()) // 12),
+        )
+        assert report.accepted == [], report.summary()

@@ -89,6 +89,27 @@ class TestHappyPath:
             fresh.answer(SQL)
 
 
+class TestWireFormat:
+    def test_roundtrip_through_rebuilt_vk(self, system):
+        """The verifier's independently-rebuilt vk decodes the wire
+        bytes back to exactly the prover's proof object."""
+        from repro.proving.proof import Proof
+
+        _, _, _, verifier, _, response = system
+        _, vk = verifier.rebuild_verifying_key(
+            response.sql, len(response.result_encoded)
+        )
+        decoded = Proof.from_bytes(vk, response.wire_bytes())
+        assert decoded == response.proof
+        assert decoded.to_bytes() == response.wire_bytes()
+
+    def test_response_carries_wire_bytes(self, system):
+        *_, response = system
+        assert response.proof_bytes
+        assert response.wire_bytes() == response.proof_bytes
+        assert response.proof_size_bytes == len(response.proof_bytes)
+
+
 class TestRejections:
     def test_tampered_result_value(self, system):
         _, _, _, verifier, _, response = system
@@ -159,6 +180,35 @@ class TestRejections:
         report = verifier.verify(bad)
         assert not report.accepted
         assert "recompilation" in report.reason
+
+    def test_truncated_proof_bytes_rejected(self, system):
+        _, _, _, verifier, _, response = system
+        bad = copy.deepcopy(response)
+        bad.proof_bytes = response.wire_bytes()[:-5]
+        report = verifier.verify(bad)
+        assert not report.accepted
+        assert "decode" in report.reason
+
+    def test_bitflipped_proof_bytes_rejected(self, system):
+        _, _, _, verifier, _, response = system
+        honest = response.wire_bytes()
+        flipped = bytearray(honest)
+        flipped[len(honest) // 2] ^= 0x40
+        bad = copy.deepcopy(response)
+        bad.proof_bytes = bytes(flipped)
+        assert not verifier.verify(bad).accepted
+
+    def test_proof_for_different_query_rejected(self, system):
+        """Replaying query B's (valid) proof bytes against query A's vk
+        must fail: the decoder pins the proof shape to A's circuit."""
+        _, _, prover, verifier, _, response = system
+        other = prover.answer("select count(*) as n from accounts")
+        assert verifier.verify(other).accepted  # honest on its own
+        bad = copy.deepcopy(response)
+        bad.proof_bytes = other.wire_bytes()
+        bad.proof = other.proof
+        report = verifier.verify(bad)
+        assert not report.accepted
 
     def test_audit_rejects_modified_database(self, system):
         db, params, prover, *_ = system

@@ -63,12 +63,30 @@ class TestTranscript:
         # depend only on absorbed content and post-absorb counter.
         assert c1 == c2
 
-    def test_scalars_batch_matches_loop(self):
+    def test_scalars_batch_matches_framed_bytes(self):
+        # Batch absorption frames the element count, so a prover cannot
+        # shift bytes between adjacent elements without changing the
+        # transcript.
         t1 = Transcript(b"test")
         t1.absorb_scalars(b"vals", [1, 2, 3])
         t2 = Transcript(b"test")
-        t2.absorb_bytes(b"vals", b"".join(F.to_bytes(v) for v in [1, 2, 3]))
+        t2.absorb_bytes(
+            b"vals",
+            (3).to_bytes(4, "little")
+            + b"".join(F.to_bytes(v) for v in [1, 2, 3]),
+        )
         assert t1.challenge_scalar(b"c") == t2.challenge_scalar(b"c")
+
+    def test_scalars_count_framing_separates(self):
+        # [1, 2] followed by [3] must differ from [1] followed by [2, 3]:
+        # identical concatenated bytes, different framing.
+        t1 = Transcript(b"test")
+        t1.absorb_scalars(b"vals", [1, 2])
+        t1.absorb_scalars(b"vals", [3])
+        t2 = Transcript(b"test")
+        t2.absorb_scalars(b"vals", [1])
+        t2.absorb_scalars(b"vals", [2, 3])
+        assert t1.challenge_scalar(b"c") != t2.challenge_scalar(b"c")
 
     def test_points_batch(self):
         tr = Transcript(b"test")
