@@ -11,7 +11,7 @@ calibrated paper-scale estimates for 60k/120k/240k.
 """
 
 from repro.baselines.cost_models import PAPER, PaperCalibration
-from repro.bench.harness import BenchConfig, measure_query_pipeline
+from repro.bench.harness import BenchConfig, bench_metadata, measure_query_pipeline
 from repro.bench.reporting import Report
 from repro.tpch.queries import QUERIES
 
@@ -77,7 +77,7 @@ def test_fig10_scalability(benchmark):
     report.line(
         f"paper anchors (Q1): 1.53 GB @60k -> 5.12 GB @240k"
     )
-    report.emit()
+    report.emit(metadata=bench_metadata(configs[SCALES[-1]]))
 
     # Shape: Q1 estimate grows ~linearly across paper scales (x2 rows ->
     # between 1.5x and 2.8x seconds once the fixed base is included).

@@ -12,7 +12,12 @@ prices the same logical plans at 60k-row cardinalities.
 """
 
 from repro.baselines.zksql import ZkSqlSimulator
-from repro.bench.harness import calibration_from_q1, measure_query_pipeline, tpch_db
+from repro.bench.harness import (
+    bench_metadata,
+    calibration_from_q1,
+    measure_query_pipeline,
+    tpch_db,
+)
 from repro.bench.reporting import Report
 from repro.sql.parser import parse
 from repro.sql.planner import Planner
@@ -99,7 +104,7 @@ def test_fig7_vs_zksql(bench_config, benchmark):
         "\npaper shape: Pone ~comparable overall, >=40% faster on Q1/Q9; "
         "Pone memory 23-60% of ZKSQL's."
     )
-    report.emit()
+    report.emit(metadata=bench_metadata(bench_config))
 
     by_query = {r[0]: r for r in rows}
     # Q1 advantage holds (ZKSQL/Pone ratio > 1.3 on Q1).

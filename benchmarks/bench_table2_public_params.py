@@ -11,9 +11,14 @@ size) and the artifact cache (the second fetch of the same parameters
 must be a HIT served from disk).
 """
 
-import time
-
-from repro.bench import BenchConfig, bench_cache, perf_summary_lines, serial_vs_parallel
+from repro.bench import (
+    BenchConfig,
+    bench_cache,
+    bench_metadata,
+    perf_summary_lines,
+    serial_vs_parallel,
+    timed,
+)
 from repro.bench.reporting import Report
 from repro.commit import setup
 from repro.commit.params import cached_setup
@@ -29,9 +34,7 @@ def test_table2_public_params(benchmark):
     benchmark.pedantic(generate_k8, rounds=1, iterations=1)
 
     for k in (6, 7, 8, 9):
-        t0 = time.perf_counter()
-        setup(k, label=b"bench-t2-%d" % k)
-        measured[k] = time.perf_counter() - t0
+        _, measured[k] = timed(lambda: setup(k, label=b"bench-t2-%d" % k))
 
     # Linear model: seconds per generator from the largest measured run.
     per_generator = measured[9] / (1 << 9)
@@ -69,5 +72,5 @@ def test_table2_public_params(benchmark):
 
     for line in perf_summary_lines(config, cache, speedups):
         report.line(line)
-    report.emit()
+    report.emit(metadata=bench_metadata(config))
     assert 1.4 < ratio < 2.8

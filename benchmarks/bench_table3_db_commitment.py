@@ -8,9 +8,13 @@ check the same near-linear shape, then extrapolate per-row cost to the
 paper's scales.
 """
 
-import time
-
-from repro.bench import BenchConfig, bench_cache, perf_summary_lines
+from repro.bench import (
+    BenchConfig,
+    bench_cache,
+    bench_metadata,
+    perf_summary_lines,
+    timed,
+)
 from repro.bench.reporting import Report
 from repro.commit.params import cached_setup
 from repro.db.commitment import commit_database
@@ -38,9 +42,9 @@ def test_table3_db_commitment(benchmark):
 
     measured = {}
     for s in scales:
-        t0 = time.perf_counter()
-        commit_database(dbs[s], params, ks[s])
-        measured[s] = time.perf_counter() - t0
+        _, measured[s] = timed(
+            lambda s=s: commit_database(dbs[s], params, ks[s])
+        )
 
     paper = {60_000: 2.89, 120_000: 5.53, 240_000: 10.94}
     # Per-committed-cell cost from the largest measured run.
@@ -68,5 +72,5 @@ def test_table3_db_commitment(benchmark):
     )
     for line in perf_summary_lines(config, cache):
         report.line(line)
-    report.emit()
+    report.emit(metadata=bench_metadata(config))
     assert 1.3 < doubling < 3.2

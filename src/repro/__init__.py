@@ -12,6 +12,7 @@ proof system internals)::
         assert session.verify(response).accepted
 """
 
+from repro import telemetry
 from repro.api import PoneglyphDB, Session
 from repro.cache import ArtifactCache, default_cache_dir
 from repro.config import ProverConfig
@@ -22,4 +23,5 @@ __all__ = [
     "ProverConfig",
     "ArtifactCache",
     "default_cache_dir",
+    "telemetry",
 ]

@@ -11,7 +11,7 @@ All transforms operate in place on lists of raw ints.
 
 from __future__ import annotations
 
-from repro import parallel
+from repro import parallel, telemetry
 from repro.algebra.field import Field
 
 #: Batched transforms only fan out to workers when each vector is at
@@ -43,6 +43,8 @@ def fft_in_place(values: list[int], omega: int, p: int) -> None:
     n = len(values)
     if n & (n - 1):
         raise ValueError("fft size must be a power of two")
+    telemetry.incr("fft.calls")
+    telemetry.incr("fft.points", n)
     _bit_reverse_permute(values)
     # Precompute the twiddle ladder: omega^(n/2m) for each stage.
     length = 2

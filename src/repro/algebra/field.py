@@ -24,6 +24,8 @@ import hashlib
 import secrets
 from typing import Iterable, Sequence
 
+from repro import telemetry
+
 # The Pasta primes (as used by zcash/halo2).
 PALLAS_BASE_MODULUS = (
     0x40000000000000000000000000000000224698FC094CF91B992D30ED00000001
@@ -38,8 +40,15 @@ PALLAS_SCALAR_MODULUS = (
 _PARALLEL_INV_MIN = 8192
 
 
-def _batch_inv_task(values: list[int], p: int) -> list[int]:
-    """Worker task: Montgomery batch inversion of one chunk."""
+def montgomery_batch_inv(values: Sequence[int], p: int) -> list[int]:
+    """Montgomery batch inversion: O(n) multiplications, one modexp.
+
+    Does NOT feed the ``field.inversions`` telemetry counter -- use
+    :meth:`Field.batch_inv` for workload inversions.  This raw form is
+    for bookkeeping conversions (point normalization, worker chunks)
+    whose call count depends on the execution backend, which would make
+    serial and parallel counter totals disagree.
+    """
     n = len(values)
     prefix = [0] * n
     acc = 1
@@ -55,6 +64,11 @@ def _batch_inv_task(values: list[int], p: int) -> list[int]:
         out[i] = prefix[i] * inv_acc % p
         inv_acc = inv_acc * (values[i] % p) % p
     return out
+
+
+def _batch_inv_task(values: list[int], p: int) -> list[int]:
+    """Worker task: Montgomery batch inversion of one chunk."""
+    return montgomery_batch_inv(values, p)
 
 
 class Field:
@@ -128,6 +142,7 @@ class Field:
         """Multiplicative inverse; raises ZeroDivisionError on 0."""
         if a % self.p == 0:
             raise ZeroDivisionError(f"0 has no inverse in {self.name}")
+        telemetry.incr("field.inversions")
         return pow(a, self.p - 2, self.p)
 
     def div(self, a: int, b: int) -> int:
@@ -153,6 +168,10 @@ class Field:
         n = len(values)
         if n == 0:
             return []
+        # Counted once per element here, before any parallel dispatch,
+        # so serial and parallel totals agree (the per-chunk modexps in
+        # workers are an implementation detail, not a workload metric).
+        telemetry.incr("field.inversions", n)
         if n >= _PARALLEL_INV_MIN:
             from repro import parallel
 
@@ -164,20 +183,7 @@ class Field:
                 ):
                     out.extend(part)
                 return out
-        prefix = [0] * n
-        acc = 1
-        for i, v in enumerate(values):
-            v %= p
-            if v == 0:
-                raise ZeroDivisionError("batch_inv of zero element")
-            prefix[i] = acc
-            acc = acc * v % p
-        inv_acc = pow(acc, p - 2, p)
-        out = [0] * n
-        for i in range(n - 1, -1, -1):
-            out[i] = prefix[i] * inv_acc % p
-            inv_acc = inv_acc * (values[i] % p) % p
-        return out
+        return montgomery_batch_inv(values, p)
 
     def sum(self, values: Iterable[int]) -> int:
         total = 0

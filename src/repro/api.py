@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro import parallel
+from repro import parallel, telemetry
 from repro.cache import ArtifactCache, resolve_cache
 from repro.commit.params import PublicParams, cached_setup, setup
 from repro.config import ProverConfig
@@ -64,6 +64,9 @@ class Session:
         )
         self._previous_workers = parallel.workers()
         parallel.configure(config.workers)
+        self._previous_telemetry = (
+            telemetry.enable(True) if config.telemetry else telemetry.enabled()
+        )
         self._closed = False
 
         self.params_cache_hit = False
@@ -81,9 +84,12 @@ class Session:
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
-        """Restore the parallelism setting the session overrode."""
+        """Restore the parallelism and telemetry settings the session
+        overrode."""
         if not self._closed:
             parallel.configure(self._previous_workers)
+            if self.config.telemetry:
+                telemetry.enable(self._previous_telemetry)
             self._closed = True
 
     def __enter__(self) -> "Session":

@@ -5,23 +5,29 @@ evaluation (see DESIGN.md's per-experiment index)."""
 from repro.bench.harness import (
     BenchConfig,
     bench_cache,
+    bench_metadata,
     bench_params,
     build_tpch_system,
+    git_revision,
     measure_query_pipeline,
     perf_summary_lines,
     real_prove_query,
     serial_vs_parallel,
+    timed,
 )
 from repro.bench.reporting import Report
 
 __all__ = [
     "BenchConfig",
     "bench_cache",
+    "bench_metadata",
     "bench_params",
     "build_tpch_system",
+    "git_revision",
     "measure_query_pipeline",
     "perf_summary_lines",
     "real_prove_query",
     "serial_vs_parallel",
+    "timed",
     "Report",
 ]

@@ -10,11 +10,11 @@ verification.
 from __future__ import annotations
 
 import os
-import time
+import subprocess
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro import parallel
+from repro import parallel, telemetry
 from repro.algebra.field import SCALAR_FIELD
 from repro.baselines.cost_models import PaperCalibration, column_work
 from repro.cache import ArtifactCache, NullCache, resolve_cache
@@ -40,6 +40,13 @@ def _env_int(name: str, default: int) -> int:
         return default
 
 
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
 @dataclass
 class BenchConfig:
     """Reduced-scale geometry shared by all benchmarks.
@@ -56,6 +63,10 @@ class BenchConfig:
     loads public parameters, proving keys, and the generated TPC-H
     database through the on-disk artifact cache so the second run of a
     benchmark skips straight to proving.
+
+    ``telemetry`` (``REPRO_BENCH_TELEMETRY``, default on) enables the
+    tracer so benchmarks report per-phase breakdowns straight from the
+    prover's span tree instead of re-timing around it.
     """
 
     lineitem_rows: int = 64
@@ -69,6 +80,9 @@ class BenchConfig:
     )
     use_cache: bool = True
     cache_dir: str | None = None
+    telemetry: bool = field(
+        default_factory=lambda: _env_flag("REPRO_BENCH_TELEMETRY", True)
+    )
 
 
 _DB_CACHE: dict[tuple[int, int], Database] = {}
@@ -115,6 +129,7 @@ def prover_config(config: BenchConfig) -> ProverConfig:
         cache_dir=config.cache_dir,
         use_cache=config.use_cache,
         scale=config.lineitem_rows,
+        telemetry=config.telemetry,
     )
 
 
@@ -125,6 +140,8 @@ def build_tpch_system(
     if params is None:
         params = bench_params(config)
     parallel.configure(config.workers)
+    if config.telemetry:
+        telemetry.enable(True)
     prover = ProverNode(
         db, params, config=prover_config(config), cache=bench_cache(config)
     )
@@ -133,14 +150,69 @@ def build_tpch_system(
     return prover, verifier
 
 
+# -- provenance ---------------------------------------------------------------
+
+
+def git_revision() -> str:
+    """The commit the benchmark ran at: ``$GITHUB_SHA`` in CI, else
+    ``git rev-parse HEAD``, else ``"unknown"``."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def bench_metadata(
+    config: BenchConfig, telemetry_metrics: dict | None = None
+) -> dict:
+    """The provenance stamp every benchmark report persists alongside
+    its numbers: what ran, where, with which knobs."""
+    pc = prover_config(config)
+    return {
+        "git_sha": git_revision(),
+        "prover_config": {
+            "k": pc.k,
+            "limb_bits": pc.limb_bits,
+            "value_bits": pc.value_bits,
+            "key_bits": pc.key_bits,
+            "workers": pc.workers,
+            "use_cache": pc.use_cache,
+            "scale": pc.scale,
+            "telemetry": pc.telemetry,
+        },
+        "lineitem_rows": config.lineitem_rows,
+        "seed": config.seed,
+        "workers": config.workers,
+        "host_cpus": os.cpu_count(),
+        "telemetry": (
+            telemetry_metrics
+            if telemetry_metrics is not None
+            else (telemetry.metrics_summary() if config.telemetry else None)
+        ),
+    }
+
+
 # -- perf-summary helpers ----------------------------------------------------
 
 
 def timed(fn: Callable[[], object]) -> tuple[object, float]:
-    """Run ``fn`` once; return ``(result, seconds)``."""
-    t0 = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - t0
+    """Run ``fn`` once; return ``(result, seconds)``.
+
+    Delegates to :func:`repro.telemetry.time_call` -- the repo's single
+    home for wall-clock measurement -- so benchmark timing and traced
+    spans come from the same clock discipline.
+    """
+    return telemetry.time_call(fn)
 
 
 def serial_vs_parallel(
@@ -211,15 +283,15 @@ def measure_query_pipeline(
     compiled = QueryCompiler(
         db, config.k, config.limb_bits, config.value_bits, config.key_bits
     ).compile(plan)
-    t0 = time.perf_counter()
+    sw = telemetry.stopwatch().start()
     asg = Assignment(compiled.cs, SCALAR_FIELD, config.k)
     result = compiled.assign_witness(asg, db)
-    witness_seconds = time.perf_counter() - t0
+    witness_seconds = sw.end()
     mock_seconds = 0.0
     if check:
-        t1 = time.perf_counter()
-        MockProver(compiled.cs, asg, SCALAR_FIELD).assert_satisfied()
-        mock_seconds = time.perf_counter() - t1
+        _, mock_seconds = timed(
+            lambda: MockProver(compiled.cs, asg, SCALAR_FIELD).assert_satisfied()
+        )
     return PipelineMeasurement(
         query=query_name,
         witness_seconds=witness_seconds,

@@ -8,6 +8,7 @@ stdout and persist under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Sequence
 
@@ -43,12 +44,24 @@ class Report:
         bar = "=" * max(len(self.title), 20)
         return "\n".join([bar, self.title, bar] + self._lines) + "\n"
 
-    def emit(self) -> str:
-        """Print and persist the report; returns the rendered text."""
+    def emit(self, metadata: dict | None = None) -> str:
+        """Print and persist the report; returns the rendered text.
+
+        ``metadata`` (typically :func:`repro.bench.harness.bench_metadata`)
+        additionally writes ``<name>.json`` next to the text report, so
+        every persisted result is stamped with the commit, prover
+        configuration, worker count, and telemetry metrics it ran with.
+        """
         text = self.render()
         print("\n" + text)
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         (RESULTS_DIR / f"{self.name}.txt").write_text(text)
+        if metadata is not None:
+            payload = {"name": self.name, "title": self.title, **metadata}
+            (RESULTS_DIR / f"{self.name}.json").write_text(
+                json.dumps(payload, indent=2, sort_keys=True, default=str)
+                + "\n"
+            )
         return text
 
 

@@ -19,12 +19,17 @@ crashed run never leaves a truncated artifact behind.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, TypeVar
+
+from repro import telemetry
+
+logger = logging.getLogger("repro.cache")
 
 T = TypeVar("T")
 
@@ -69,6 +74,8 @@ class CacheStats:
             self.hits += 1
         else:
             self.misses += 1
+        telemetry.incr("cache.hit" if hit else "cache.miss")
+        logger.debug("cache %s %s", "HIT" if hit else "MISS", key)
         self.events.append(f"cache {'HIT ' if hit else 'MISS'} {key}")
 
     def summary(self) -> str:

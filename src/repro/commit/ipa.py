@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro import parallel
+from repro import parallel, telemetry
 from repro.algebra.field import Field
 from repro.commit.params import PublicParams
 from repro.ecc.curve import (
@@ -168,6 +168,13 @@ def commit_polynomials(
     loop (each commitment is an independent pure function); only the
     scheduling differs.
     """
+    with telemetry.span("commit.polynomials", count=len(items)):
+        return _commit_polynomials(params, items)
+
+
+def _commit_polynomials(
+    params: PublicParams, items: Sequence[tuple[Sequence[int], int]]
+) -> list[Point]:
     if not parallel.is_parallel() or len(items) < 2:
         return [commit_polynomial(params, coeffs, blind) for coeffs, blind in items]
     jobs = []
@@ -209,6 +216,18 @@ def open_polynomial(
     the claimed evaluation into ``transcript`` (the verifier mirrors
     this), so the challenges bind the full statement.
     """
+    with telemetry.span("ipa.open", n=params.n):
+        return _open_polynomial(params, transcript, coeffs, blind, x, field)
+
+
+def _open_polynomial(
+    params: PublicParams,
+    transcript: Transcript,
+    coeffs: Sequence[int],
+    blind: int,
+    x: int,
+    field: Field,
+) -> IpaProof:
     p = field.p
     n = params.n
     a = list(c % p for c in coeffs) + [0] * (n - len(coeffs))

@@ -41,6 +41,11 @@ class ProverConfig:
     scale:
         Workload scale for benchmark/TPC-H sessions (lineitem rows);
         ignored when an explicit database is supplied.
+    telemetry:
+        Enable the :mod:`repro.telemetry` tracer for the session's
+        lifetime.  Proved responses then carry a ``report`` dict with
+        per-phase wall times and counters; off (the default) the
+        instrumentation is a no-op.
     field / curve:
         The circuit field and commitment curve (the paper's choices by
         default).
@@ -54,6 +59,7 @@ class ProverConfig:
     cache_dir: str | os.PathLike[str] | None = None
     use_cache: bool = True
     scale: int = 64
+    telemetry: bool = False
     field: Field = dc_field(default=SCALAR_FIELD, repr=False)
     curve: Curve = dc_field(default=PALLAS, repr=False)
 

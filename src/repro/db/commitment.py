@@ -25,7 +25,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
-from repro import parallel
+from repro import parallel, telemetry
 from repro.algebra.domain import EvaluationDomain, fft_in_place
 from repro.algebra.field import Field, SCALAR_FIELD
 from repro.commit.ipa import commit_polynomial
@@ -221,6 +221,17 @@ def _commit_all_columns(
             keys.append((table_name, column_name))
             jobs.append((vector, secret.blind))
 
+    with telemetry.span("db.commit_columns", columns=len(jobs), k=k):
+        points = _commit_column_jobs(domain, fit, field_, jobs)
+    return dict(zip(keys, points))
+
+
+def _commit_column_jobs(
+    domain: EvaluationDomain,
+    fit: PublicParams,
+    field_: Field,
+    jobs: list[tuple[list[int], int]],
+) -> list[Point]:
     if parallel.is_parallel() and len(jobs) >= 2:
         g_coords = points_to_affine_tuples(list(fit.g))
         w_coord = fit.w.to_affine()
@@ -244,7 +255,7 @@ def _commit_all_columns(
             commit_polynomial(fit, domain.ifft(vector), blind)
             for vector, blind in jobs
         ]
-    return dict(zip(keys, points))
+    return points
 
 
 def commit_database(

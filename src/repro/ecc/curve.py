@@ -20,6 +20,7 @@ from repro.algebra.field import (
     Field,
     PALLAS_BASE_MODULUS,
     PALLAS_SCALAR_MODULUS,
+    montgomery_batch_inv,
 )
 
 
@@ -198,7 +199,11 @@ class Point:
         if self.z == 0:
             return (0, 0)
         p = self.curve.field.p
-        z_inv = self.curve.field.inv(self.z)
+        # Raw modexp, not Field.inv: normalization happens at
+        # serialization boundaries whose count depends on the execution
+        # backend (worker tasks re-serialize), so it must not feed the
+        # field.inversions workload counter.
+        z_inv = pow(self.z, p - 2, p)
         z_inv2 = z_inv * z_inv % p
         return (self.x * z_inv2 % p, self.y * z_inv2 % p * z_inv % p)
 
@@ -260,7 +265,9 @@ def batch_to_affine(points: list[Point]) -> list[tuple[int, int]]:
     field = points[0].curve.field
     p = field.p
     zs = [pt.z if pt.z else 1 for pt in points]
-    invs = field.batch_inv(zs)
+    # Uncounted (see Point.to_affine): serialization bookkeeping, not a
+    # workload inversion.
+    invs = montgomery_batch_inv(zs, p)
     out = []
     for pt, z_inv in zip(points, invs):
         if pt.z == 0:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro import parallel
+from repro import parallel, telemetry
 from repro.ecc.curve import (
     Curve,
     Point,
@@ -127,6 +127,10 @@ def msm(points: Sequence[Point], scalars: Sequence[int]) -> Point:
         for pt, s in zip(points, scalars)
         if s % order != 0 and not pt.is_identity()
     ]
+    # Counted here (not in the window workers) so serial and parallel
+    # runs report identical totals.
+    telemetry.incr("msm.calls")
+    telemetry.incr("msm.points", len(pairs))
     if not pairs:
         return curve.identity()
     if len(pairs) == 1:

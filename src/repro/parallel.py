@@ -126,13 +126,31 @@ def is_parallel() -> bool:
     return _workers > 1 and (_pool is None or _pool.usable)
 
 
+def _traced_task(fn: Callable[..., T], args: tuple) -> tuple[T, Any]:
+    """Worker-side wrapper: run the task under a telemetry capture so
+    its spans/counters travel back to the parent with the result."""
+    from repro import telemetry
+
+    return telemetry.run_captured(fn, args)
+
+
 def pmap(fn: Callable[..., T], tasks: Sequence[tuple]) -> list[T]:
-    """Ordered parallel starmap over ``tasks`` (serial fallback)."""
+    """Ordered parallel starmap over ``tasks`` (serial fallback).
+
+    With telemetry enabled, each worker's spans and counters are
+    captured and merged into the parent trace tagged by chunk index,
+    so counter totals match the serial path exactly.
+    """
     global _pool
     if _workers <= 1 or len(tasks) < MIN_TASKS:
         return [fn(*args) for args in tasks]
     if _pool is None:
         _pool = WorkerPool(_workers)
+    from repro import telemetry
+
+    if telemetry.enabled():
+        tagged = _pool.starmap(_traced_task, [(fn, args) for args in tasks])
+        return telemetry.absorb_task_results(tagged)
     return _pool.starmap(fn, tasks)
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import logging
 from dataclasses import dataclass, field as dataclass_field
 
 from repro.plonkish.expression import (
@@ -21,6 +22,9 @@ from repro.plonkish.expression import (
     Scaled,
     Sum,
 )
+
+
+logger = logging.getLogger("repro.plonkish.constraint_system")
 
 
 def _describe_column(col: "Column") -> str:
@@ -312,7 +316,12 @@ class ConstraintSystem:
                 f"C:{_describe_column(copy.left_col)}@{copy.left_row}="
                 f"{_describe_column(copy.right_col)}@{copy.right_row}"
             )
-        return h.hexdigest()
+        digest = h.hexdigest()
+        logger.debug(
+            "fingerprint %s: %d gates, %d lookups, %d copies",
+            digest, len(self.gates), len(self.lookups), len(self.copies),
+        )
+        return digest
 
     def summary(self) -> dict[str, int]:
         return {

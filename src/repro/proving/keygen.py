@@ -16,9 +16,11 @@ no trust.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field as dc_field
 from typing import TYPE_CHECKING
 
+from repro import telemetry
 from repro.algebra.domain import EvaluationDomain
 from repro.algebra.field import Field
 from repro.commit.ipa import commit_polynomials
@@ -29,6 +31,8 @@ from repro.plonkish.constraint_system import Column, ColumnKind, ConstraintSyste
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cache import ArtifactCache
+
+logger = logging.getLogger("repro.proving.keygen")
 
 #: Columns covered by one permutation grand-product polynomial.  Keeping
 #: chunks small bounds the constraint degree at ``chunk + 2`` (the
@@ -174,6 +178,24 @@ def keygen(
     k: int,
 ) -> ProvingKey:
     """Derive proving and verifying keys for a circuit of ``2^k`` rows."""
+    with telemetry.span("keygen", k=k):
+        pk = _keygen(params, cs, field, k)
+    logger.debug(
+        "keygen: k=%d degree=%d extended_k=%d sigmas=%d",
+        k,
+        cs.required_degree(PERMUTATION_CHUNK),
+        pk.vk.extended_k,
+        len(pk.sigmas),
+    )
+    return pk
+
+
+def _keygen(
+    params: PublicParams,
+    cs: ConstraintSystem,
+    field: Field,
+    k: int,
+) -> ProvingKey:
     n = 1 << k
     if n > params.n:
         raise ValueError(f"circuit rows 2^{k} exceed params capacity 2^{params.k}")
@@ -285,16 +307,17 @@ def finalize_fixed(pk: ProvingKey, assignment: Assignment) -> None:
     Fixed values are part of the circuit description (the prover fills
     them during synthesis), so this completes key generation.
     """
-    domain, ext, shift = pk.domain, pk.extended_domain, pk.coset_shift
-    fit_params = pk.vk.params
-    pk.fixed_values = [list(col) for col in assignment.fixed]
-    coeffs_list = domain.ifft_many(list(assignment.fixed))
-    ext_list = ext.coset_fft_many(coeffs_list, shift)
-    commits = commit_polynomials(
-        fit_params, [(coeffs, 0) for coeffs in coeffs_list]
-    )
-    pk.fixed = [
-        PolyData(coeffs=coeffs, extended_evals=ext_evals, commitment=commitment)
-        for coeffs, ext_evals, commitment in zip(coeffs_list, ext_list, commits)
-    ]
-    pk.vk.fixed_commitments = [pd.commitment for pd in pk.fixed]
+    with telemetry.span("keygen.finalize_fixed", columns=len(assignment.fixed)):
+        domain, ext, shift = pk.domain, pk.extended_domain, pk.coset_shift
+        fit_params = pk.vk.params
+        pk.fixed_values = [list(col) for col in assignment.fixed]
+        coeffs_list = domain.ifft_many(list(assignment.fixed))
+        ext_list = ext.coset_fft_many(coeffs_list, shift)
+        commits = commit_polynomials(
+            fit_params, [(coeffs, 0) for coeffs in coeffs_list]
+        )
+        pk.fixed = [
+            PolyData(coeffs=coeffs, extended_evals=ext_evals, commitment=commitment)
+            for coeffs, ext_evals, commitment in zip(coeffs_list, ext_list, commits)
+        ]
+        pk.vk.fixed_commitments = [pd.commitment for pd in pk.fixed]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.algebra.field import Field
 from repro.commit.ipa import IpaProof, open_polynomial, verify_opening
 from repro.commit.params import PublicParams
@@ -62,23 +63,24 @@ def multi_open(
     v = transcript.challenge_scalar(b"multiopen-v")
     proofs: list[tuple[int, IpaProof]] = []
     for point, group in _group_by_point(claims):
-        combined = [0] * params.n
-        combined_blind = 0
-        combined_eval = 0
-        v_pow = 1
-        for claim in group:
-            assert claim.coeffs is not None and claim.blind is not None
-            for i, c in enumerate(claim.coeffs):
-                combined[i] = (combined[i] + v_pow * c) % p
-            combined_blind = (combined_blind + v_pow * claim.blind) % p
-            combined_eval = (combined_eval + v_pow * claim.evaluation) % p
-            v_pow = v_pow * v % p
-        transcript.absorb_scalar(b"multiopen-point", point)
-        transcript.absorb_scalar(b"multiopen-eval", combined_eval)
-        proof = open_polynomial(
-            params, transcript, combined, combined_blind, point, field
-        )
-        proofs.append((point, proof))
+        with telemetry.span("multiopen.open", claims=len(group)):
+            combined = [0] * params.n
+            combined_blind = 0
+            combined_eval = 0
+            v_pow = 1
+            for claim in group:
+                assert claim.coeffs is not None and claim.blind is not None
+                for i, c in enumerate(claim.coeffs):
+                    combined[i] = (combined[i] + v_pow * c) % p
+                combined_blind = (combined_blind + v_pow * claim.blind) % p
+                combined_eval = (combined_eval + v_pow * claim.evaluation) % p
+                v_pow = v_pow * v % p
+            transcript.absorb_scalar(b"multiopen-point", point)
+            transcript.absorb_scalar(b"multiopen-eval", combined_eval)
+            proof = open_polynomial(
+                params, transcript, combined, combined_blind, point, field
+            )
+            proofs.append((point, proof))
     return proofs
 
 

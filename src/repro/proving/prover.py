@@ -10,10 +10,10 @@ why every gate in :mod:`repro.gates` is engineered for low degree.
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from dataclasses import dataclass, field as dc_field
 
+from repro import telemetry
 from repro.algebra.field import Field
 from repro.algebra.poly import evaluate_coeffs
 from repro.commit.ipa import commit_polynomial, commit_polynomials
@@ -31,7 +31,10 @@ class ProverTiming:
     """Wall-clock breakdown of one proof generation, in seconds.
 
     This instrumentation feeds the paper's Figures 8 and 9 (per-step
-    proof-generation breakdowns).
+    proof-generation breakdowns).  The numbers come from the telemetry
+    spans the prover always measures (``prove.commit_advice`` etc.);
+    with telemetry *enabled* the same spans additionally land in the
+    ambient trace with full parent/child structure.
     """
 
     commit_advice: float = 0.0
@@ -71,7 +74,7 @@ def create_proof(
     *structurally deviant but otherwise honestly-computed* proofs that
     the verifier must still reject.  Never set it in production code.
     """
-    t_start = time.perf_counter()
+    sw_total = telemetry.stopwatch().start()
     vk = pk.vk
     field: Field = vk.field
     p = field.p
@@ -91,7 +94,9 @@ def create_proof(
     transcript = init_transcript(vk, assignment.instance)
 
     # ---- round 1: commit advice columns --------------------------------
-    t0 = time.perf_counter()
+    phase = telemetry.begin_span(
+        "prove.commit_advice", columns=len(assignment.advice)
+    )
     overrides = advice_blind_overrides or {}
     # Batched: per-column IFFTs and commitment MSMs are independent, so
     # they fan out across the worker pool when one is configured.
@@ -104,11 +109,12 @@ def create_proof(
         params, list(zip(advice_coeffs, advice_blinds))
     )
     transcript.absorb_points(b"advice", advice_commitments)
+    phase.end()
     if timing:
-        timing.commit_advice = time.perf_counter() - t0
+        timing.commit_advice = phase.duration
 
     # ---- round 2: lookup permutations (theta) ----------------------------
-    t0 = time.perf_counter()
+    phase = telemetry.begin_span("prove.lookup_commit", lookups=len(cs.lookups))
     theta = transcript.challenge_scalar(b"theta")
 
     def compress(exprs, row_count):
@@ -126,6 +132,7 @@ def create_proof(
     lookup_data = []  # per lookup: dict with A, S, A', S', coeffs, blinds
     lookup_parts: list[LookupProofPart] = []
     for lookup in cs.lookups:
+        telemetry.incr("lookup.rows", usable)
         a_vals = compress(lookup.inputs, usable)
         s_vals = compress(lookup.table, usable)
         a_perm, s_perm = _permute_lookup(lookup.name, a_vals, s_vals)
@@ -158,11 +165,14 @@ def create_proof(
                 z_commitment=None,  # type: ignore[arg-type] - set below
             )
         )
+    phase.end()
     if timing:
-        timing.lookups = time.perf_counter() - t0
+        timing.lookups = phase.duration
 
     # ---- round 3: grand products (beta, gamma) ---------------------------
-    t0 = time.perf_counter()
+    phase = telemetry.begin_span(
+        "prove.grand_products", chunks=len(vk.permutation_chunks)
+    )
     beta = transcript.challenge_scalar(b"beta")
     gamma = transcript.challenge_scalar(b"gamma")
 
@@ -278,11 +288,12 @@ def create_proof(
         transcript.absorb_point(b"shuffle-z", z_commit)
         shuffle_data.append({"z_coeffs": z_coeffs, "z_blind": z_blind})
         shuffle_parts.append(ShuffleProofPart(z_commitment=z_commit))
+    phase.end()
     if timing:
-        timing.permutations = time.perf_counter() - t0
+        timing.permutations = phase.duration
 
     # ---- round 4: quotient polynomial (y) ---------------------------------
-    t0 = time.perf_counter()
+    phase = telemetry.begin_span("prove.quotient", extended_n=ext_n)
     y = transcript.challenge_scalar(b"y")
 
     # Extended-coset evaluations of every polynomial the constraints read.
@@ -493,11 +504,12 @@ def create_proof(
     h_blinds = [field.rand() for _ in pieces]
     h_commitments = commit_polynomials(params, list(zip(pieces, h_blinds)))
     transcript.absorb_points(b"h", h_commitments)
+    phase.end()
     if timing:
-        timing.quotient = time.perf_counter() - t0
+        timing.quotient = phase.duration
 
     # ---- round 5: evaluations at x -----------------------------------------
-    t0 = time.perf_counter()
+    phase = telemetry.begin_span("prove.evaluations")
     x = transcript.challenge_scalar(b"x")
 
     proof = Proof(
@@ -550,11 +562,12 @@ def create_proof(
     proof.h_evals = [evaluate_coeffs(piece, x, p) for piece in pieces]
 
     _absorb_evaluations(transcript, proof)
+    phase.end()
     if timing:
-        timing.evaluations = time.perf_counter() - t0
+        timing.evaluations = phase.duration
 
     # ---- multiopen --------------------------------------------------------
-    t0 = time.perf_counter()
+    phase = telemetry.begin_span("prove.multiopen")
     claims: list[OpeningClaim] = []
 
     def claim(point, coeffs, blind, commitment, evaluation):
@@ -608,9 +621,11 @@ def create_proof(
         claim(x, piece, blind, commitment, evaluation)
 
     proof.openings = multi_open(params, transcript, claims, field)
+    phase.set(claims=len(claims)).end()
+    sw_total.end()
     if timing:
-        timing.multiopen = time.perf_counter() - t0
-        timing.total = time.perf_counter() - t_start
+        timing.multiopen = phase.duration
+        timing.total = sw_total.duration
     return proof
 
 

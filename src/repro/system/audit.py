@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.commit.params import PublicParams
 from repro.db.commitment import (
     CommitmentSecrets,
@@ -28,6 +29,7 @@ class AuditCertificate:
     root: bytes
     valid: bool
     detail: str = ""
+    elapsed_seconds: float = 0.0
 
 
 def audit(
@@ -43,7 +45,25 @@ def audit(
     (:meth:`DatabaseCommitment.to_bytes` / ``from_bytes``): an auditor
     receives the commitment over the wire, so the attestation must cover
     exactly what decodes -- including the Merkle-root consistency check
-    baked into ``from_bytes``."""
+    baked into ``from_bytes``.  The whole check runs under a timed
+    ``audit`` telemetry span that also provides ``elapsed_seconds``."""
+    span = telemetry.begin_span("audit", k=commitment.k)
+    try:
+        cert = _audit_inner(db, commitment, secrets, params)
+    except BaseException:
+        span.end(status="error")
+        raise
+    span.set(valid=cert.valid).end()
+    cert.elapsed_seconds = span.duration
+    return cert
+
+
+def _audit_inner(
+    db: Database,
+    commitment: DatabaseCommitment,
+    secrets: CommitmentSecrets,
+    params: PublicParams,
+) -> AuditCertificate:
     try:
         commitment = DatabaseCommitment.from_bytes(
             params.curve, commitment.to_bytes()

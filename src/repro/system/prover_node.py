@@ -9,11 +9,11 @@ commitment.
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro import telemetry
 from repro.algebra.field import Field, SCALAR_FIELD
 from repro.cache import ArtifactCache, resolve_cache
 from repro.commit.params import PublicParams
@@ -54,6 +54,10 @@ class QueryResponse:
     consumes -- the in-memory ``proof`` object is prover-side
     convenience (timing, inspection) and is never trusted by
     :class:`~repro.system.verifier_node.VerifierNode`.
+
+    ``report`` is the flat telemetry phase report (phases, counters,
+    gauges, ``phase_coverage``) when the session runs with telemetry
+    enabled, else ``None``; ``timing`` is always populated.
     """
 
     sql: str
@@ -65,6 +69,7 @@ class QueryResponse:
     proof_bytes: bytes = b""
     timing: ProverTiming = field(default_factory=ProverTiming)
     circuit_summary: dict[str, int] = field(default_factory=dict)
+    report: dict | None = None
 
     def wire_bytes(self) -> bytes:
         """The serialized proof: what a remote prover would transmit."""
@@ -160,56 +165,75 @@ class ProverNode:
     # -- phases 3-4: answer a query -------------------------------------------
 
     def answer(self, sql: str) -> QueryResponse:
-        """Execute ``sql`` and produce the proof of correct execution."""
+        """Execute ``sql`` and produce the proof of correct execution.
+
+        The whole pipeline runs under one ``prove`` telemetry root span;
+        compile/witness/keygen become direct children alongside the
+        ``prove.*`` phase spans :func:`create_proof` emits, so the
+        response's phase report accounts for essentially all wall time.
+        """
         if self.commitment is None or self._secrets is None:
             raise RuntimeError("publish_commitment() must run first")
         timing = ProverTiming()
-        t0 = time.perf_counter()
+        counters_before = telemetry.counters_snapshot()
+        root = telemetry.begin_span("prove", sql=sql, k=self.k)
+        try:
+            phase = telemetry.begin_span("prove.compile")
+            query = parse(sql)
+            plan = self._planner.plan(query)
+            compiled = QueryCompiler(
+                self.db, self.k, self.limb_bits, self.value_bits, self.key_bits
+            ).compile(plan)
+            phase.end()
+            timing.extra["compile"] = phase.duration
 
-        query = parse(sql)
-        plan = self._planner.plan(query)
-        compiled = QueryCompiler(
-            self.db, self.k, self.limb_bits, self.value_bits, self.key_bits
-        ).compile(plan)
-        timing.extra["compile"] = time.perf_counter() - t0
+            phase = telemetry.begin_span("prove.witness")
+            asg = Assignment(compiled.cs, self.field, self.k)
+            result_encoded = compiled.assign_witness(asg, self.db)
+            # Replay the committed blinding tails in the scan columns so
+            # the advice commitments differ from the database commitments
+            # only in the W component.
+            blind_overrides: dict[int, int] = {}
+            links: list[ScanLinkProof] = []
+            for link in compiled.scan_links:
+                secret = self._secrets.columns[(link.table, link.column)]
+                advice_col = compiled.cs.advice_columns[link.advice_index]
+                asg.assign_tail(advice_col, secret.tail)
+                delta = self.field.rand()
+                blind_overrides[link.advice_index] = (
+                    secret.blind + delta
+                ) % self.field.p
+                links.append(
+                    ScanLinkProof(
+                        link.advice_index, link.table, link.column, delta
+                    )
+                )
+            phase.end()
+            timing.extra["witness"] = phase.duration
 
-        t1 = time.perf_counter()
-        asg = Assignment(compiled.cs, self.field, self.k)
-        result_encoded = compiled.assign_witness(asg, self.db)
-        # Replay the committed blinding tails in the scan columns so
-        # the advice commitments differ from the database commitments
-        # only in the W component.
-        blind_overrides: dict[int, int] = {}
-        links: list[ScanLinkProof] = []
-        for link in compiled.scan_links:
-            secret = self._secrets.columns[(link.table, link.column)]
-            advice_col = compiled.cs.advice_columns[link.advice_index]
-            asg.assign_tail(advice_col, secret.tail)
-            delta = self.field.rand()
-            blind_overrides[link.advice_index] = (
-                secret.blind + delta
-            ) % self.field.p
-            links.append(
-                ScanLinkProof(link.advice_index, link.table, link.column, delta)
+            phase = telemetry.begin_span("prove.keygen")
+            if self.cache.enabled:
+                pk, cache_hit = cached_keygen(
+                    self.cache, self.params, compiled.cs, self.field, self.k
+                )
+                timing.extra["keygen_cache_hit"] = 1.0 if cache_hit else 0.0
+            else:
+                pk: ProvingKey = keygen(
+                    self.params, compiled.cs, self.field, self.k
+                )
+            finalize_fixed(pk, asg)
+            phase.end()
+            timing.extra["keygen"] = phase.duration
+
+            proof = create_proof(
+                pk, asg, timing=timing, advice_blind_overrides=blind_overrides
             )
-        timing.extra["witness"] = time.perf_counter() - t1
+        finally:
+            root.end()
+        timing.total = root.duration
 
-        t2 = time.perf_counter()
-        if self.cache.enabled:
-            pk, cache_hit = cached_keygen(
-                self.cache, self.params, compiled.cs, self.field, self.k
-            )
-            timing.extra["keygen_cache_hit"] = 1.0 if cache_hit else 0.0
-        else:
-            pk: ProvingKey = keygen(self.params, compiled.cs, self.field, self.k)
-        finalize_fixed(pk, asg)
-        timing.extra["keygen"] = time.perf_counter() - t2
-
-        proof = create_proof(
-            pk, asg, timing=timing, advice_blind_overrides=blind_overrides
-        )
-        timing.total = time.perf_counter() - t0
-
+        proof_bytes = proof.to_bytes()
+        telemetry.gauge("proof.bytes", len(proof_bytes))
         decoded = self._decode(compiled, result_encoded)
         return QueryResponse(
             sql=sql,
@@ -217,10 +241,28 @@ class ProverNode:
             result=decoded,
             column_names=[meta.name for meta in compiled.outputs],
             proof=proof,
-            proof_bytes=proof.to_bytes(),
+            proof_bytes=proof_bytes,
             scan_links=links,
             timing=timing,
             circuit_summary=compiled.cs.summary(),
+            report=self._phase_report(root, counters_before),
+        )
+
+    @staticmethod
+    def _phase_report(root, counters_before: dict[str, float]) -> dict | None:
+        """The flat telemetry report for one answered query (None when
+        telemetry is disabled).  Counters are reported as the delta over
+        this query so back-to-back proves stay comparable."""
+        if not telemetry.enabled() or not isinstance(root, telemetry.Span):
+            return None
+        after = telemetry.counters_snapshot()
+        delta = {
+            name: after[name] - counters_before.get(name, 0)
+            for name in sorted(after)
+            if after[name] != counters_before.get(name, 0)
+        }
+        return telemetry.phase_report(
+            root, delta, telemetry.gauges_snapshot()
         )
 
     # -- helpers -----------------------------------------------------------

@@ -17,8 +17,9 @@ Workflow (paper Figure 2, phase 5) plus the binding checks:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+
+from repro import telemetry
 
 from repro.algebra.field import Field, SCALAR_FIELD
 from repro.commit.params import PublicParams
@@ -89,11 +90,29 @@ class VerifierNode:
         response: QueryResponse,
         accumulator: Accumulator | None = None,
     ) -> VerificationReport:
-        t0 = time.perf_counter()
+        """Check a query response.  The whole check runs under a timed
+        ``verify`` telemetry span, which is also the single source of the
+        report's ``elapsed_seconds`` (no local clock arithmetic)."""
+        span = telemetry.begin_span("verify", sql=response.sql)
         try:
-            compiled, vk = self.rebuild_verifying_key(
-                response.sql, len(response.result_encoded)
-            )
+            report = self._verify_inner(response, accumulator)
+        except BaseException:
+            span.end(status="error")
+            raise
+        span.set(accepted=report.accepted).end()
+        report.elapsed_seconds = span.duration
+        return report
+
+    def _verify_inner(
+        self,
+        response: QueryResponse,
+        accumulator: Accumulator | None,
+    ) -> VerificationReport:
+        try:
+            with telemetry.span("verify.rebuild_vk"):
+                compiled, vk = self.rebuild_verifying_key(
+                    response.sql, len(response.result_encoded)
+                )
         except Exception as exc:  # malformed query == reject
             return VerificationReport(False, f"recompilation failed: {exc}")
 
@@ -115,8 +134,7 @@ class VerifierNode:
             return VerificationReport(
                 False,
                 f"proof decode failed: {exc}",
-                time.perf_counter() - t0,
-                len(wire),
+                proof_size_bytes=len(wire),
             )
 
         # Scan links: advice commitment == db column commitment + delta*W.
@@ -142,8 +160,10 @@ class VerifierNode:
                 )
 
         instance = compiled.instance_vectors(response.result_encoded)
-        ok = verify_proof(vk, proof, instance, accumulator)
-        elapsed = time.perf_counter() - t0
+        with telemetry.span("verify.proof"):
+            ok = verify_proof(vk, proof, instance, accumulator)
         if not ok:
-            return VerificationReport(False, "proof rejected", elapsed, len(wire))
-        return VerificationReport(True, "", elapsed, len(wire))
+            return VerificationReport(
+                False, "proof rejected", proof_size_bytes=len(wire)
+            )
+        return VerificationReport(True, proof_size_bytes=len(wire))

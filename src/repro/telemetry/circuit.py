@@ -1,0 +1,276 @@
+"""Static circuit cost accounting: :class:`CircuitReport`.
+
+Prove-time spans tell you *where the seconds went*; this pass tells you
+*why* -- the circuit-shape quantities (rows, columns, gate constraints
+per SQL operator, lookup widths, permutation chunks, MSM sizes) that
+drive each phase's cost.  Joining the two reproduces the paper's
+per-operator decomposition (Figures 8-9) without re-running anything:
+the report is derived purely from a :class:`ConstraintSystem` and ``k``.
+
+Mirrors the treatment of circuit-level accounting as a first-class
+artifact in Coglio et al. (*Formal Verification of Zero-Knowledge
+Circuits*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.plonkish.assignment import ZK_ROWS
+from repro.plonkish.constraint_system import ConstraintSystem
+
+#: Gate-name substrings -> the SQL operator bucket they implement.
+#: The circuit builders (repro.circuits) name gates after the relational
+#: operator that emits them, so a substring match is reliable here.
+_OPERATOR_BUCKETS: tuple[tuple[str, str], ...] = (
+    ("filter", "filter"),
+    ("select", "filter"),
+    ("where", "filter"),
+    ("range", "filter"),
+    ("cmp", "filter"),
+    ("join", "join"),
+    ("merge", "join"),
+    ("agg", "aggregate"),
+    ("sum", "aggregate"),
+    ("count", "aggregate"),
+    ("avg", "aggregate"),
+    ("group", "aggregate"),
+    ("sort", "sort"),
+    ("order", "sort"),
+    ("project", "project"),
+    ("output", "project"),
+    ("out", "project"),
+)
+
+
+def _bucket_for_gate(name: str) -> str:
+    lowered = name.lower()
+    for needle, bucket in _OPERATOR_BUCKETS:
+        if needle in lowered:
+            return bucket
+    return "other"
+
+
+@dataclass(frozen=True)
+class GateCost:
+    """Per-gate static cost: constraint count and max degree."""
+
+    name: str
+    constraints: int
+    max_degree: int
+    operator: str
+
+
+@dataclass(frozen=True)
+class LookupCost:
+    """Per-lookup static cost: tuple width and argument degree."""
+
+    name: str
+    width: int
+    degree: int
+
+
+@dataclass(frozen=True)
+class CircuitReport:
+    """Static cost report for one circuit shape at ``2^k`` rows."""
+
+    k: int
+    rows: int
+    usable_rows: int
+    zk_rows: int
+    fingerprint: str
+    fixed_columns: int
+    advice_columns: int
+    instance_columns: int
+    equality_columns: int
+    gates: tuple[GateCost, ...]
+    num_constraints: int
+    max_gate_degree: int
+    required_degree: int
+    extended_k: int
+    lookups: tuple[LookupCost, ...]
+    shuffles: int
+    copies: int
+    permutation_chunk: int
+    permutation_grand_products: int
+    operator_constraints: dict[str, int] = dc_field(default_factory=dict)
+
+    @classmethod
+    def from_constraint_system(
+        cls,
+        cs: ConstraintSystem,
+        k: int,
+        permutation_chunk: int = 3,
+    ) -> "CircuitReport":
+        n = 1 << k
+        gates = []
+        operator_constraints: dict[str, int] = {}
+        for gate in cs.gates:
+            bucket = _bucket_for_gate(gate.name)
+            count = len(gate.constraints)
+            degree = max((c.degree() for c in gate.constraints), default=1)
+            gates.append(
+                GateCost(
+                    name=gate.name,
+                    constraints=count,
+                    max_degree=degree,
+                    operator=bucket,
+                )
+            )
+            operator_constraints[bucket] = operator_constraints.get(bucket, 0) + count
+
+        lookups = []
+        for lookup in cs.lookups:
+            input_deg = max((e.degree() for e in lookup.inputs), default=1)
+            table_deg = max((e.degree() for e in lookup.table), default=1)
+            lookups.append(
+                LookupCost(
+                    name=lookup.name,
+                    width=len(lookup.inputs),
+                    degree=2 + input_deg + table_deg,
+                )
+            )
+
+        degree = cs.required_degree(permutation_chunk)
+        extended_k = k + max(1, (degree - 1).bit_length())
+        equality = len(cs.equality_columns)
+        chunks = (
+            (equality + permutation_chunk - 1) // permutation_chunk
+            if equality
+            else 0
+        )
+        return cls(
+            k=k,
+            rows=n,
+            usable_rows=n - ZK_ROWS,
+            zk_rows=ZK_ROWS,
+            fingerprint=cs.fingerprint(),
+            fixed_columns=len(cs.fixed_columns),
+            advice_columns=len(cs.advice_columns),
+            instance_columns=len(cs.instance_columns),
+            equality_columns=equality,
+            gates=tuple(gates),
+            num_constraints=cs.num_constraints(),
+            max_gate_degree=cs.max_gate_degree(),
+            required_degree=degree,
+            extended_k=extended_k,
+            lookups=tuple(lookups),
+            shuffles=len(cs.shuffles),
+            copies=len(cs.copies),
+            permutation_chunk=permutation_chunk,
+            permutation_grand_products=chunks,
+            operator_constraints=operator_constraints,
+        )
+
+    # -- derived MSM estimates -------------------------------------------
+
+    def commitment_msm_sizes(self) -> dict[str, int]:
+        """Estimated per-phase MSM sizes (points per multi-scalar mul).
+
+        Every column/polynomial commitment is one size-``rows`` MSM over
+        the committed coefficients; the quotient splits into
+        ``2^(extended_k - k)`` chunks of the same size.
+        """
+        quotient_chunks = 1 << (self.extended_k - self.k)
+        return {
+            "advice": self.rows,
+            "fixed": self.rows,
+            "lookup_permuted": self.rows,
+            "grand_product": self.rows,
+            "quotient_chunk": self.rows,
+            "quotient_chunks": quotient_chunks,
+        }
+
+    def estimated_commit_msms(self) -> int:
+        """How many size-``rows`` MSMs one ``create_proof`` performs,
+        from shape alone (advice + 2 permuted cols and 1 product per
+        lookup, 1 product per shuffle and permutation chunk, quotient
+        chunks, plus the final multiopen/IPA commitment)."""
+        quotient_chunks = 1 << (self.extended_k - self.k)
+        return (
+            self.advice_columns
+            + 3 * len(self.lookups)
+            + self.shuffles
+            + self.permutation_grand_products
+            + quotient_chunks
+            + 1  # IPA opening commitment
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-able form (bench stamping, golden tests)."""
+        return {
+            "k": self.k,
+            "rows": self.rows,
+            "usable_rows": self.usable_rows,
+            "zk_rows": self.zk_rows,
+            "fingerprint": self.fingerprint,
+            "columns": {
+                "fixed": self.fixed_columns,
+                "advice": self.advice_columns,
+                "instance": self.instance_columns,
+                "equality": self.equality_columns,
+            },
+            "gates": [
+                {
+                    "name": g.name,
+                    "constraints": g.constraints,
+                    "max_degree": g.max_degree,
+                    "operator": g.operator,
+                }
+                for g in self.gates
+            ],
+            "num_constraints": self.num_constraints,
+            "max_gate_degree": self.max_gate_degree,
+            "required_degree": self.required_degree,
+            "extended_k": self.extended_k,
+            "lookups": [
+                {"name": l.name, "width": l.width, "degree": l.degree}
+                for l in self.lookups
+            ],
+            "shuffles": self.shuffles,
+            "copies": self.copies,
+            "permutation_chunk": self.permutation_chunk,
+            "permutation_grand_products": self.permutation_grand_products,
+            "operator_constraints": dict(self.operator_constraints),
+            "estimated_commit_msms": self.estimated_commit_msms(),
+            "msm_sizes": self.commitment_msm_sizes(),
+        }
+
+    def render(self) -> str:
+        """Human-readable cost table (the ``report`` CLI and benches)."""
+        lines = [
+            f"circuit {self.fingerprint[:12]}  k={self.k}  "
+            f"rows={self.rows} (usable {self.usable_rows}, blinding {self.zk_rows})",
+            f"columns: fixed={self.fixed_columns} advice={self.advice_columns} "
+            f"instance={self.instance_columns} equality={self.equality_columns}",
+            f"degree: max gate {self.max_gate_degree}, required {self.required_degree} "
+            f"-> extended_k={self.extended_k}",
+            f"arguments: lookups={len(self.lookups)} shuffles={self.shuffles} "
+            f"copies={self.copies} "
+            f"permutation products={self.permutation_grand_products} "
+            f"(chunk {self.permutation_chunk})",
+            f"estimated commit MSMs: {self.estimated_commit_msms()} "
+            f"x {self.rows} points",
+            "",
+            f"{'gate':<28} {'operator':<10} {'constraints':>11} {'degree':>7}",
+            f"{'-' * 28} {'-' * 10} {'-' * 11} {'-' * 7}",
+        ]
+        for gate in self.gates:
+            lines.append(
+                f"{gate.name:<28} {gate.operator:<10} "
+                f"{gate.constraints:>11} {gate.max_degree:>7}"
+            )
+        if self.lookups:
+            lines.append("")
+            lines.append(f"{'lookup':<28} {'width':>6} {'degree':>7}")
+            lines.append(f"{'-' * 28} {'-' * 6} {'-' * 7}")
+            for lookup in self.lookups:
+                lines.append(
+                    f"{lookup.name:<28} {lookup.width:>6} {lookup.degree:>7}"
+                )
+        if self.operator_constraints:
+            lines.append("")
+            lines.append("constraints by operator:")
+            for name in sorted(self.operator_constraints):
+                lines.append(f"  {name:<12} {self.operator_constraints[name]:>6}")
+        return "\n".join(lines)

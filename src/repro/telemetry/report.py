@@ -1,0 +1,59 @@
+"""``python -m repro.telemetry.report trace.jsonl`` -- render a trace.
+
+Prints the span tree (wall seconds, % of parent, attributes) followed
+by the counter/gauge catalogue and, for every root span that has
+children, a Fig 8/9-style per-phase table.  Reads exactly the JSONL
+files produced by :func:`repro.telemetry.write_trace`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.telemetry.export import (
+    phase_report,
+    read_trace,
+    render_phases,
+    render_tree,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Render a repro-trace JSONL file as a span tree "
+        "and per-phase breakdown.",
+    )
+    parser.add_argument("trace", help="path to a trace.jsonl file")
+    parser.add_argument(
+        "--phases-only",
+        action="store_true",
+        help="print only the per-phase tables, not the span tree",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        trace = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    sections: list[str] = []
+    if not args.phases_only:
+        sections.append(render_tree(trace.roots, trace.counters, trace.gauges))
+    for root in trace.roots:
+        if not root.children:
+            continue
+        prefix = root.name + "."
+        sections.append(
+            render_phases(
+                phase_report(root, trace.counters, trace.gauges, prefix=prefix)
+            )
+        )
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,16 +29,20 @@ from __future__ import annotations
 
 import datetime
 import hashlib
+import logging
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro import telemetry
 from repro.db.database import Database
 from repro.db.schema import ColumnDef, TableSchema
 from repro.db.types import DATE, DECIMAL, INT, STRING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cache import ArtifactCache
+
+logger = logging.getLogger("repro.tpch.datagen")
 
 #: Bump when the generator's output changes for the same (rows, seed) --
 #: it is part of the artifact-cache description, so old cached databases
@@ -199,6 +203,16 @@ def _schemas() -> dict[str, TableSchema]:
 def generate(lineitem_rows: int, seed: int = 19920873) -> Database:
     """Generate a scaled TPC-H database.  Deterministic in
     (lineitem_rows, seed)."""
+    with telemetry.span("tpch.datagen", lineitem_rows=lineitem_rows, seed=seed):
+        db = _generate(lineitem_rows, seed)
+    logger.debug(
+        "generated tpch database: %d lineitem rows, seed=%d, %d tables",
+        lineitem_rows, seed, len(db.tables),
+    )
+    return db
+
+
+def _generate(lineitem_rows: int, seed: int) -> Database:
     scale = scale_for_lineitem_rows(lineitem_rows)
     rng = random.Random(seed)
     schemas = _schemas()

@@ -1,0 +1,343 @@
+"""The telemetry layer: spans, counters, exporters, circuit reports.
+
+Covers the tentpole guarantees: span nesting and exception safety,
+thread- and fork-safe counters (serial and parallel runs report the
+same totals), the < 2% disabled-overhead budget, JSONL round-trips,
+static CircuitReport golden values, and the end-to-end ``report``
+attached to proved responses.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import PoneglyphDB, ProverConfig, parallel, telemetry
+from repro.db import ColumnDef, Database, TableSchema
+from repro.db.types import INT, STRING
+from repro.plonkish.assignment import ZK_ROWS
+from repro.telemetry.circuit import CircuitReport
+from repro.telemetry.export import write_trace_spans
+from repro.telemetry.selfcheck import (
+    EXAMPLE_K,
+    EXPECTED_PHASES,
+    example_assignment,
+    example_circuit,
+    run_instrumented_prove,
+)
+
+
+@pytest.fixture()
+def tele():
+    """The ambient tracer, enabled and clean; prior state restored."""
+    previous = telemetry.enable(True)
+    telemetry.reset()
+    yield telemetry
+    telemetry.reset()
+    telemetry.enable(previous)
+
+
+def _pmap_task(n):
+    """Module-level so the worker pool can pickle it."""
+    with telemetry.span("test.task", n=n):
+        telemetry.incr("test.work", n)
+    return n * n
+
+
+class TestSpans:
+    def test_nesting_and_attrs(self, tele):
+        with tele.span("outer", k=5) as outer:
+            with tele.span("inner.a") as a:
+                a.set(rows=3)
+            with tele.span("inner.b"):
+                pass
+        assert outer.attrs == {"k": 5}
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert outer.children[0].attrs == {"rows": 3}
+        assert all(c.parent_id == outer.span_id for c in outer.children)
+        assert outer in tele.get_tracer().roots
+        assert [s.name for s in outer.walk()] == ["outer", "inner.a", "inner.b"]
+        assert outer.duration >= max(c.duration for c in outer.children)
+
+    def test_exception_marks_error(self, tele):
+        with pytest.raises(ValueError):
+            with tele.span("outer") as outer:
+                with tele.span("inner"):
+                    raise ValueError("boom")
+        assert outer.status == "error"
+        assert outer.attrs["error"] == "ValueError"
+        # The inner span was robust-popped and flagged too.
+        assert outer.children[0].status == "error"
+        assert tele.current_span() is None
+
+    def test_begin_end_imperative(self, tele):
+        root = tele.begin_span("prove", k=3)
+        child = tele.begin_span("prove.quotient")
+        child.end()
+        root.end()
+        root.end()  # idempotent
+        assert [c.name for c in root.children] == ["prove.quotient"]
+        assert root.duration >= child.duration
+
+    def test_disabled_span_is_noop_singleton(self):
+        previous = telemetry.enable(False)
+        try:
+            with telemetry.span("anything") as s:
+                assert s is telemetry.NOOP_SPAN
+            # timed flavour still measures.
+            sw = telemetry.begin_span("verify")
+            assert isinstance(sw, telemetry.Stopwatch)
+            assert sw.end() >= 0.0
+            assert telemetry.get_tracer().roots == []
+        finally:
+            telemetry.enable(previous)
+
+    def test_counters_thread_safe(self, tele):
+        def bump():
+            for _ in range(1000):
+                tele.incr("test.threads")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tele.counters_snapshot()["test.threads"] == 4000
+
+
+class TestParallelMerge:
+    def test_serial_and_parallel_totals_match(self, tele):
+        tasks = [(n,) for n in range(1, 7)]
+        with parallel.parallelism(0):
+            serial = parallel.pmap(_pmap_task, tasks)
+        serial_total = tele.counters_snapshot()["test.work"]
+        tele.reset()
+        with parallel.parallelism(2):
+            par = parallel.pmap(_pmap_task, tasks)
+        assert par == serial == [n * n for n in range(1, 7)]
+        assert tele.counters_snapshot()["test.work"] == serial_total == 21
+
+    def test_point_normalization_is_uncounted(self, tele):
+        # to_affine / batch_to_affine run a backend-dependent number of
+        # times (worker tasks re-serialize points), so they must not
+        # feed field.inversions or serial != parallel totals.
+        from repro.ecc.curve import PALLAS, batch_to_affine
+
+        points = [PALLAS.generator * s for s in (2, 3, 5)]
+        before = tele.counters_snapshot().get("field.inversions", 0)
+        for point in points:
+            point.to_affine()
+        batch_to_affine(points)
+        assert tele.counters_snapshot().get("field.inversions", 0) == before
+
+    def test_worker_spans_merge_with_chunk_tags(self, tele):
+        with parallel.parallelism(2):
+            with tele.span("parent"):
+                parallel.pmap(_pmap_task, [(1,), (2,), (3,)])
+        (root,) = tele.get_tracer().roots
+        assert root.name == "parent"
+        merged = [c for c in root.children if c.name == "test.task"]
+        assert len(merged) == 3
+        assert sorted(c.attrs["chunk"] for c in merged) == [0, 1, 2]
+        assert sorted(c.attrs["n"] for c in merged) == [1, 2, 3]
+
+
+class TestDisabledOverhead:
+    def test_noop_budget_under_two_percent(self, tele):
+        """The disabled fast path must cost < 2% of a real prove.
+
+        Measured directly: count every instrumentation event one
+        instrumented k=5 prove emits (spans + counter bumps), then time
+        that many *disabled* span/incr calls and compare against the
+        same prove's disabled wall time.
+        """
+        root = run_instrumented_prove()
+        spans = sum(1 for _ in root.walk())
+        bumps = sum(1 for _ in tele.counters_snapshot())
+        events = spans + int(
+            sum(tele.counters_snapshot().values())
+        )
+        assert bumps > 0 and spans > 10
+
+        telemetry.enable(False)
+        telemetry.reset()
+        _, prove_seconds = telemetry.time_call(run_instrumented_prove)
+
+        def burn():
+            for _ in range(spans):
+                with telemetry.span("noop", k=1):
+                    pass
+            for _ in range(events):
+                telemetry.incr("noop", 1)
+
+        _, overhead_seconds = telemetry.time_call(burn)
+        telemetry.enable(True)
+        assert overhead_seconds < 0.02 * prove_seconds, (
+            f"disabled telemetry cost {overhead_seconds:.4f}s for "
+            f"{spans} spans + {events} incrs vs {prove_seconds:.2f}s prove"
+        )
+
+
+class TestExportRoundTrip:
+    def test_jsonl_round_trip(self, tele, tmp_path):
+        with tele.span("prove", k=5):
+            with tele.span("prove.quotient", ext=256):
+                tele.incr("fft.calls", 3)
+            tele.gauge("proof.bytes", 1234)
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        telemetry.write_trace(first, tele.get_tracer())
+        trace = telemetry.read_trace(first)
+        assert trace.counters == {"fft.calls": 3}
+        assert trace.gauges == {"proof.bytes": 1234}
+        (root,) = trace.roots
+        assert root.name == "prove" and root.attrs == {"k": 5}
+        assert root.children[0].name == "prove.quotient"
+        write_trace_spans(second, trace)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_read_rejects_foreign_files(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"type": "meta", "format": "nope"}) + "\n")
+        with pytest.raises(ValueError):
+            telemetry.read_trace(bad)
+
+    def test_render_tree_and_phases(self, tele):
+        root = tele.begin_span("prove")
+        tele.begin_span("prove.quotient").end()
+        root.end()
+        tele.incr("msm.points", 1_000_000)
+        tree = telemetry.render_tree(
+            [root], tele.counters_snapshot(), tele.gauges_snapshot()
+        )
+        assert "prove.quotient" in tree and "% of parent" in tree
+        assert "1,000,000" in tree
+        report = telemetry.phase_report(root, tele.counters_snapshot())
+        assert set(report["phases"]) == {"quotient"}
+        assert 0.0 < report["phase_coverage"] <= 1.0
+        rendered = telemetry.render_phases(report)
+        assert "quotient" in rendered and "phase coverage" in rendered
+
+
+class TestCircuitReport:
+    def test_example_circuit_golden_values(self):
+        cs, _ = example_circuit()
+        report = CircuitReport.from_constraint_system(cs, EXAMPLE_K)
+        assert report.k == EXAMPLE_K and report.rows == 32
+        assert report.usable_rows == 32 - ZK_ROWS and report.zk_rows == ZK_ROWS
+        assert report.fingerprint == cs.fingerprint()
+        assert (report.fixed_columns, report.advice_columns) == (5, 3)
+        assert (report.instance_columns, report.equality_columns) == (1, 2)
+        assert [g.name for g in report.gates] == ["add", "mul", "out"]
+        assert [g.max_degree for g in report.gates] == [2, 3, 2]
+        assert report.num_constraints == 3
+        assert report.max_gate_degree == 3
+        assert report.required_degree == 5  # range16 lookup: 1+1+2+1
+        assert report.extended_k == 8  # 5 + bit_length(4)
+        (lookup,) = report.lookups
+        assert (lookup.name, lookup.width, lookup.degree) == ("range16", 1, 5)
+        assert report.copies == 2
+        assert report.permutation_grand_products == 1  # ceil(2/3)
+        assert report.operator_constraints == {"other": 2, "project": 1}
+        # advice 3 + 3*1 lookup + 1 perm product + 8 quotient chunks + 1 IPA
+        assert report.estimated_commit_msms() == 16
+        assert report.commitment_msm_sizes()["quotient_chunks"] == 8
+        assert report.as_dict()["estimated_commit_msms"] == 16
+        rendered = report.render()
+        assert "range16" in rendered and "constraints by operator" in rendered
+
+    def test_tpch_query_report(self):
+        from repro.sql.compiler import QueryCompiler
+        from repro.sql.parser import parse
+        from repro.sql.planner import Planner
+        from repro.tpch.datagen import generate
+        from repro.tpch.queries import QUERIES
+
+        db = generate(8)
+        plan = Planner(db).plan(parse(QUERIES["Q1"]))
+        compiled = QueryCompiler(db, 8, 4, 32, 40).compile(plan)
+        report = CircuitReport.from_constraint_system(compiled.cs, 8)
+        assert report.rows == 256
+        assert report.num_constraints == compiled.cs.num_constraints()
+        assert report.required_degree >= report.max_gate_degree + 1
+        assert report.extended_k > 8
+        # Q1 is aggregation-heavy: the operator decomposition must say so.
+        assert report.operator_constraints.get("aggregate", 0) > 0
+        assert sum(report.operator_constraints.values()) == report.num_constraints
+        assert report.lookups  # range checks from filters/decompositions
+        assert report.estimated_commit_msms() > report.advice_columns
+
+
+class TestInstrumentedProve:
+    def test_selfcheck_phases_and_counters(self, tele):
+        root = run_instrumented_prove()
+        child_names = {c.name for c in root.children}
+        assert set(EXPECTED_PHASES) <= child_names
+        report = telemetry.phase_report(root, tele.counters_snapshot())
+        assert report["phase_coverage"] >= 0.95
+        counters = report["counters"]
+        for name in ("msm.calls", "msm.points", "fft.calls", "field.inversions"):
+            assert counters.get(name, 0) > 0, name
+
+    def test_example_circuit_is_provable_fixture(self):
+        # Keep the shared fixture honest independent of telemetry.
+        cs, cols = example_circuit()
+        asg, result = example_assignment(cs, cols, x=2, y=3, z=4)
+        assert result == 60
+        assert asg.usable_rows == 32 - ZK_ROWS
+
+
+class TestSessionReport:
+    @pytest.fixture()
+    def tiny_db(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "t",
+                [ColumnDef("a", INT), ColumnDef("grp", STRING), ColumnDef("v", INT)],
+                primary_key="a",
+            ),
+            [(1, "x", 10), (2, "y", 20), (3, "x", 30)],
+        )
+        return db
+
+    def test_prove_report_coverage(self, tiny_db, tmp_path):
+        config = ProverConfig(
+            k=6, limb_bits=4, value_bits=16, key_bits=16,
+            cache_dir=tmp_path / "cache", telemetry=True,
+        )
+        was_enabled = telemetry.enabled()
+        with PoneglyphDB.open(tiny_db, config) as session:
+            assert telemetry.enabled()
+            response = session.prove("select count(*) as n from t")
+            verification = session.verify(response)
+        assert telemetry.enabled() == was_enabled  # restored on close
+        assert verification.accepted
+        assert verification.elapsed_seconds > 0
+        report = response.report
+        assert report is not None and report["span"] == "prove"
+        assert report["phase_coverage"] >= 0.95
+        expected = {
+            "compile", "witness", "keygen", "commit_advice",
+            "lookup_commit", "grand_products", "quotient",
+            "evaluations", "multiopen",
+        }
+        assert expected <= set(report["phases"])
+        assert abs(
+            sum(report["phases"].values()) - report["total_seconds"]
+        ) <= 0.05 * report["total_seconds"]
+        assert report["counters"].get("msm.points", 0) > 0
+        assert report["gauges"].get("proof.bytes", 0) > 0
+        # timing stays populated alongside the report.
+        assert response.timing.total > 0
+
+    def test_report_absent_when_disabled(self, tiny_db, tmp_path):
+        config = ProverConfig(
+            k=6, limb_bits=4, value_bits=16, key_bits=16,
+            cache_dir=tmp_path / "cache",
+        )
+        with PoneglyphDB.open(tiny_db, config) as session:
+            response = session.prove("select count(*) as n from t")
+            assert session.verify(response).accepted
+        assert response.report is None
+        assert response.timing.total > 0  # Stopwatch path still measures
