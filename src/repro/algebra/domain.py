@@ -11,7 +11,8 @@ All transforms operate in place on lists of raw ints.
 
 from __future__ import annotations
 
-from repro import parallel, telemetry
+from repro import kernels, parallel, telemetry
+from repro.algebra import fft_plan
 from repro.algebra.field import Field
 
 #: Batched transforms only fan out to workers when each vector is at
@@ -39,12 +40,19 @@ def fft_in_place(values: list[int], omega: int, p: int) -> None:
     """Iterative Cooley-Tukey NTT over GF(p).
 
     ``omega`` must be a primitive n-th root of unity for n = len(values).
+    With the kernel fast path enabled the bit-reversal indices and
+    per-stage twiddle ladders come from the per-``(n, omega, p)`` plan
+    cache (:mod:`repro.algebra.fft_plan`) instead of being rebuilt per
+    call; the butterflies are identical, so outputs match exactly.
     """
     n = len(values)
     if n & (n - 1):
         raise ValueError("fft size must be a power of two")
     telemetry.incr("fft.calls")
     telemetry.incr("fft.points", n)
+    if kernels.fastpath_enabled():
+        fft_plan.ntt_in_place(values, fft_plan.plan_for(n, omega, p))
+        return
     _bit_reverse_permute(values)
     # Precompute the twiddle ladder: omega^(n/2m) for each stage.
     length = 2
@@ -98,7 +106,15 @@ class EvaluationDomain:
         log2 of the domain size.
     """
 
-    __slots__ = ("field", "k", "size", "omega", "omega_inv", "size_inv")
+    __slots__ = (
+        "field",
+        "k",
+        "size",
+        "omega",
+        "omega_inv",
+        "size_inv",
+        "_shift_ladders",
+    )
 
     def __init__(self, field: Field, k: int):
         if k > field.two_adicity:
@@ -111,6 +127,21 @@ class EvaluationDomain:
         self.omega = field.root_of_unity_of_order(self.size)
         self.omega_inv = field.inv(self.omega)
         self.size_inv = field.inv(self.size)
+        # Cached coset power ladders [1, shift, shift^2, ..] keyed by
+        # shift (kernel fast path; a domain sees one or two shifts).
+        self._shift_ladders: dict[int, list[int]] = {}
+
+    def _shift_powers(self, shift: int) -> list[int]:
+        """The full-size power ladder of ``shift``, cached per domain."""
+        p = self.field.p
+        shift %= p
+        ladder = self._shift_ladders.get(shift)
+        if ladder is None:
+            ladder = [1] * self.size
+            for i in range(1, self.size):
+                ladder[i] = ladder[i - 1] * shift % p
+            self._shift_ladders[shift] = ladder
+        return ladder
 
     # -- transforms -----------------------------------------------------
 
@@ -132,26 +163,32 @@ class EvaluationDomain:
         p, n_inv = self.field.p, self.size_inv
         return [v * n_inv % p for v in values]
 
+    def _coset_scale(self, values: list[int], count: int, shift: int) -> None:
+        """Scale ``values[i] *= shift^i`` for ``i < count`` in place,
+        through the cached ladder on the kernel fast path."""
+        p = self.field.p
+        if kernels.fastpath_enabled():
+            ladder = self._shift_powers(shift)
+            for i in range(count):
+                values[i] = values[i] * ladder[i] % p
+            return
+        power = 1
+        for i in range(count):
+            values[i] = values[i] * power % p
+            power = power * shift % p
+
     def coset_fft(self, coeffs: list[int], shift: int) -> list[int]:
         """Coefficients -> evaluations over the coset ``shift * H``."""
-        p = self.field.p
         scaled = list(coeffs) + [0] * (self.size - len(coeffs))
-        power = 1
-        for i in range(len(coeffs)):
-            scaled[i] = scaled[i] * power % p
-            power = power * shift % p
-        fft_in_place(scaled, self.omega, p)
+        self._coset_scale(scaled, len(coeffs), shift)
+        fft_in_place(scaled, self.omega, self.field.p)
         return scaled
 
     def coset_ifft(self, evals: list[int], shift: int) -> list[int]:
         """Evaluations over ``shift * H`` -> coefficients."""
         coeffs = self.ifft(evals)
-        p = self.field.p
         shift_inv = self.field.inv(shift)
-        power = 1
-        for i in range(len(coeffs)):
-            coeffs[i] = coeffs[i] * power % p
-            power = power * shift_inv % p
+        self._coset_scale(coeffs, len(coeffs), shift_inv)
         return coeffs
 
     # -- batched transforms -----------------------------------------------
@@ -206,10 +243,7 @@ class EvaluationDomain:
             if len(coeffs) > self.size:
                 raise ValueError("polynomial larger than domain")
             scaled = list(coeffs) + [0] * (self.size - len(coeffs))
-            power = 1
-            for i in range(len(coeffs)):
-                scaled[i] = scaled[i] * power % p
-                power = power * shift % p
+            self._coset_scale(scaled, len(coeffs), shift)
             scaled_list.append(scaled)
         return self._dispatch_many(_fft_task, scaled_list, self.omega, p)
 

@@ -1,0 +1,115 @@
+"""Cached NTT execution plans: bit-reversal indices + twiddle ladders.
+
+The reference :func:`repro.algebra.domain.fft_in_place` rebuilds the
+per-stage twiddle ladder (``n - 1`` multiplications plus one modexp per
+stage) on *every* transform.  The prover runs thousands of transforms
+over a handful of domains, so this module precomputes the plan --
+bit-reversal swap pairs and the full twiddle table of every stage --
+once per ``(n, omega, p)`` and replays it.
+
+Plans live in a module-level cache: the parent process and each forked
+worker build a plan at most once and hit it thereafter (the
+``fft.twiddle_hits`` / ``fft.twiddle_builds`` counters record the
+traffic).  Plans are plain picklable data, so they can also ship
+across the fork boundary inside task arguments if a caller prefers.
+"""
+
+from __future__ import annotations
+
+from repro import telemetry
+
+
+class NttPlan:
+    """A reusable transform schedule for one ``(n, omega, p)``."""
+
+    __slots__ = ("n", "omega", "p", "swaps", "stages")
+
+    def __init__(self, n: int, omega: int, p: int):
+        if n & (n - 1):
+            raise ValueError("fft size must be a power of two")
+        self.n = n
+        self.omega = omega % p
+        self.p = p
+        # Bit-reversal permutation as explicit swap pairs (i < j).
+        swaps = []
+        j = 0
+        for i in range(1, n):
+            bit = n >> 1
+            while j & bit:
+                j ^= bit
+                bit >>= 1
+            j |= bit
+            if i < j:
+                swaps.append((i, j))
+        self.swaps = swaps
+        # Twiddle ladder per stage: omega^(n/length) powers, half a
+        # stage each; n - 1 entries in total.
+        stages = []
+        length = 2
+        while length <= n:
+            w_m = pow(self.omega, n // length, p)
+            half = length // 2
+            ws = [1] * half
+            for i in range(1, half):
+                ws[i] = ws[i - 1] * w_m % p
+            stages.append(ws)
+            length *= 2
+        self.stages = stages
+
+    # Plans are pure data; pickling ships them to workers when needed.
+    def __getstate__(self):
+        return (self.n, self.omega, self.p, self.swaps, self.stages)
+
+    def __setstate__(self, state):
+        self.n, self.omega, self.p, self.swaps, self.stages = state
+
+
+#: Process-local plan cache.  Forked workers inherit the parent's
+#: plans; ones built after the fork are rebuilt per worker on miss.
+_PLANS: dict[tuple[int, int, int], NttPlan] = {}
+
+
+def plan_for(n: int, omega: int, p: int) -> NttPlan:
+    """The cached plan for ``(n, omega, p)``, building it on first use."""
+    key = (n, omega, p)
+    plan = _PLANS.get(key)
+    if plan is None:
+        plan = NttPlan(n, omega, p)
+        _PLANS[key] = plan
+        telemetry.incr("fft.twiddle_builds")
+    else:
+        telemetry.incr("fft.twiddle_hits")
+    return plan
+
+
+def cache_size() -> int:
+    return len(_PLANS)
+
+
+def clear_cache() -> None:
+    _PLANS.clear()
+
+
+def ntt_in_place(values: list[int], plan: NttPlan) -> None:
+    """Iterative Cooley-Tukey NTT replaying a precomputed plan.
+
+    Identical butterflies (and therefore identical outputs) to the
+    reference transform; only the index/twiddle recomputation is gone.
+    """
+    if len(values) != plan.n:
+        raise ValueError("vector length does not match plan size")
+    p = plan.p
+    n = plan.n
+    for i, j in plan.swaps:
+        values[i], values[j] = values[j], values[i]
+    length = 2
+    for ws in plan.stages:
+        half = length // 2
+        for start in range(0, n, length):
+            for i in range(half):
+                base = start + i
+                lo = values[base]
+                hi = values[base + half] * ws[i] % p
+                values[base] = (lo + hi) % p
+                values[base + half] = (lo - hi) % p
+        length *= 2

@@ -86,6 +86,7 @@ class Field:
         "root_of_unity",
         "multiplicative_generator",
         "_byte_length",
+        "_tonelli_q",
     )
 
     def __init__(self, modulus: int, name: str = "Fp"):
@@ -95,13 +96,17 @@ class Field:
         self.name = name
         self._byte_length = (modulus.bit_length() + 7) // 8
 
-        # Two-adicity: the largest s with 2^s | p - 1.
+        # Two-adicity: the largest s with 2^s | p - 1.  The odd part t
+        # is kept as well: it is the q of the p - 1 = q * 2^s Tonelli-
+        # Shanks decomposition, which sqrt() would otherwise re-derive
+        # on every call (hash-to-curve does one sqrt per attempt).
         t = modulus - 1
         s = 0
         while t % 2 == 0:
             t //= 2
             s += 1
         self.two_adicity = s
+        self._tonelli_q = t
 
         # A quadratic non-residue g gives a root of unity of exact
         # order 2^s via g^t.  Small candidates are tested with the
@@ -216,13 +221,10 @@ class Field:
             return 0
         if self.legendre(a) != 1:
             return None
-        # Write p - 1 = q * 2^s with q odd.
-        q, s = p - 1, 0
-        while q % 2 == 0:
-            q //= 2
-            s += 1
-        z = self.multiplicative_generator
-        m, c, t, r = s, pow(z, q, p), pow(a, q, p), pow(a, (q + 1) // 2, p)
+        # p - 1 = q * 2^s with q odd, decomposed once in __init__; the
+        # non-residue power z^q is exactly root_of_unity.
+        q, s = self._tonelli_q, self.two_adicity
+        m, c, t, r = s, self.root_of_unity, pow(a, q, p), pow(a, (q + 1) // 2, p)
         while t != 1:
             # Find least i with t^(2^i) == 1.
             i, t2i = 0, t

@@ -78,6 +78,12 @@ class Session:
             else:
                 params = setup(config.k, config.curve)
         self.params = params
+        if self.cache.enabled:
+            # Let the kernel layer persist its fixed-base MSM tables
+            # next to the cached parameters they derive from.
+            from repro.ecc import fixed_base
+
+            fixed_base.configure_cache(self.cache)
         self.prover = ProverNode(db, params, config=config, cache=self.cache)
         self._verifier: VerifierNode | None = None
 

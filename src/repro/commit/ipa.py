@@ -29,16 +29,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro import parallel, telemetry
+from repro import kernels, parallel, telemetry
 from repro.algebra.field import Field
 from repro.commit.params import PublicParams
+from repro.ecc import fixed_base
 from repro.ecc.curve import (
     Point,
     curve_by_name,
     points_from_affine_tuples,
     points_to_affine_tuples,
 )
-from repro.ecc.msm import msm
+from repro.ecc.msm import fold_bases, msm
 from repro.transcript import Transcript
 from repro.wire import ByteReader, SCALAR_BYTES, point_wire_size
 
@@ -131,15 +132,26 @@ class IpaProof:
 def commit_polynomial(
     params: PublicParams, coeffs: Sequence[int], blind: int
 ) -> Point:
-    """Commit to polynomial coefficients (little-endian)."""
+    """Commit to polynomial coefficients (little-endian).
+
+    With the kernel fast path enabled the MSM runs against the
+    parameter set's fixed-base tables (same group element)."""
     padded = list(coeffs) + [0] * (params.n - len(coeffs))
     if len(padded) > params.n:
         raise ValueError("polynomial exceeds parameter capacity")
+    if kernels.fastpath_enabled():
+        tables = fixed_base.tables_for_params(params)
+        return fixed_base.fixed_base_msm(
+            tables,
+            padded + [blind],
+            indices=list(range(params.n)) + [params.n],
+        )
     return msm(list(params.g) + [params.w], padded + [blind])
 
 
 def _commit_batch_task(
     curve_name: str,
+    fingerprint: str,
     g_coords: list[tuple[int, int]],
     w_coord: tuple[int, int],
     jobs: list[tuple[list[int], int]],
@@ -147,9 +159,23 @@ def _commit_batch_task(
     """Worker task: commit each (padded coefficients, blind) job.
 
     Bases travel once per task as affine tuples; inside a worker the
-    MSM itself runs serially (no nested pools).
+    MSM itself runs serially (no nested pools).  Workers prefer the
+    fixed-base tables under ``fingerprint`` (inherited at fork or read
+    from the attached disk cache); a miss falls back to the generic MSM
+    over the shipped bases -- identical elements either way.
     """
     curve = curve_by_name(curve_name)
+    n = len(g_coords)
+    if kernels.fastpath_enabled():
+        tables = fixed_base.lookup_tables(fingerprint)
+        if tables is not None:
+            indices = list(range(n)) + [n]
+            return points_to_affine_tuples(
+                [
+                    fixed_base.fixed_base_msm(tables, padded + [blind], indices)
+                    for padded, blind in jobs
+                ]
+            )
     bases = points_from_affine_tuples(curve, g_coords) + points_from_affine_tuples(
         curve, [w_coord]
     )
@@ -182,10 +208,15 @@ def _commit_polynomials(
         if len(coeffs) > params.n:
             raise ValueError("polynomial exceeds parameter capacity")
         jobs.append((list(coeffs) + [0] * (params.n - len(coeffs)), blind))
+    if kernels.fastpath_enabled():
+        # Build (or load) the tables in the parent first: workers forked
+        # afterwards inherit the registry; ones forked earlier fall back
+        # through the disk cache or to the generic MSM.
+        fixed_base.tables_for_params(params)
     g_coords = points_to_affine_tuples(list(params.g))
     w_coord = params.w.to_affine()
     tasks = [
-        (params.curve.name, g_coords, w_coord, chunk)
+        (params.curve.name, params.fingerprint(), g_coords, w_coord, chunk)
         for chunk in parallel.chunked(jobs, parallel.workers())
     ]
     out: list[Point] = []
@@ -262,10 +293,7 @@ def _open_polynomial(
 
         a = [(lo * u + hi * u_inv) % p for lo, hi in zip(a_lo, a_hi)]
         b = [(lo * u_inv + hi * u) % p for lo, hi in zip(b_lo, b_hi)]
-        g = [
-            msm([glo, ghi], [u_inv, u])
-            for glo, ghi in zip(g_lo, g_hi)
-        ]
+        g = fold_bases(g_lo, g_hi, u_inv, u)
         u_sq = u * u % p
         u_inv_sq = u_inv * u_inv % p
         r = (r + l_blind * u_sq + r_blind * u_inv_sq) % p
@@ -364,5 +392,10 @@ def verify_opening(
         return False
     s, a, residual = reduced
     p = field.p
-    folded = msm(list(params.g), [a * si % p for si in s])
+    scalars = [a * si % p for si in s]
+    if kernels.fastpath_enabled():
+        tables = fixed_base.tables_for_params(params)
+        folded = fixed_base.fixed_base_msm(tables, scalars)
+    else:
+        folded = msm(list(params.g), scalars)
     return (folded + residual).is_identity()

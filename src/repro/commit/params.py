@@ -16,6 +16,7 @@ its index).  Because the result is also a pure function of
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -59,10 +60,28 @@ class PublicParams:
     g: list[Point] = field(repr=False)
     w: Point = field(repr=False)
     u: Point = field(repr=False)
+    #: Lazily computed content hash (see :meth:`fingerprint`); excluded
+    #: from equality so a hashed and an unhashed copy still compare.
+    _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
     @property
     def n(self) -> int:
         return 1 << self.k
+
+    def fingerprint(self) -> str:
+        """Content hash of the canonical serialization.
+
+        Keys everything derived from this exact parameter set -- the
+        fixed-base MSM tables in :mod:`repro.ecc.fixed_base` most of
+        all.  Computed once and cached on the instance (the bases are
+        immutable after construction); a truncated view hashes to a
+        different fingerprint than its parent.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = hashlib.blake2b(
+                self.to_bytes(), digest_size=20
+            ).hexdigest()
+        return self._fingerprint
 
     def truncated(self, k: int) -> "PublicParams":
         """A view supporting smaller circuits (prefix of the bases).

@@ -11,6 +11,26 @@ recursive proof composition.
 """
 
 from repro.ecc.curve import Curve, Point, PALLAS, VESTA
-from repro.ecc.msm import msm
+from repro.ecc.msm import fold_bases, msm
+from repro.ecc.fixed_base import (
+    FixedBaseTables,
+    build_tables,
+    fixed_base_msm,
+    tables_for_params,
+)
+from repro.ecc.glv import curve_endo, decompose
 
-__all__ = ["Curve", "Point", "PALLAS", "VESTA", "msm"]
+__all__ = [
+    "Curve",
+    "Point",
+    "PALLAS",
+    "VESTA",
+    "msm",
+    "fold_bases",
+    "FixedBaseTables",
+    "build_tables",
+    "fixed_base_msm",
+    "tables_for_params",
+    "curve_endo",
+    "decompose",
+]

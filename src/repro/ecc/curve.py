@@ -171,16 +171,34 @@ class Point:
         return self + (-other)
 
     def __mul__(self, scalar: int) -> "Point":
-        """Scalar multiplication (left-to-right, 4-bit windows)."""
+        """Scalar multiplication (left-to-right, 4-bit windows).
+
+        Full-width scalars take the GLV fast path when the kernel layer
+        is enabled: two interleaved ~128-bit halves against the curve's
+        cube-root endomorphism (same group element either way).
+        """
         n = scalar % self.curve.scalar_field.p
         if n == 0 or self.z == 0:
             return Point._identity(self.curve)
-        # Window precomputation: table[w] = w * P for w in 1..15.
+        if n.bit_length() > 128:
+            from repro import kernels
+
+            if kernels.fastpath_enabled():
+                from repro.ecc import glv
+
+                endo = glv.curve_endo(self.curve)
+                if endo is not None:
+                    return glv.endo_mul(self, n, endo)
+        # Window precomputation sized to the scalar: table[w] = w * P.
+        # A scalar that fits one 4-bit window only ever indexes up to
+        # its own value; full-width scalars use all 15 entries.
+        bits = n.bit_length()
+        size = n if bits <= 4 else 15
         table = [self]
-        for _ in range(14):
+        for _ in range(size - 1):
             table.append(table[-1] + self)
         acc = Point._identity(self.curve)
-        top = ((n.bit_length() + 3) // 4) * 4 - 4
+        top = ((bits + 3) // 4) * 4 - 4
         for shift in range(top, -1, -4):
             if not acc.is_identity():
                 acc = acc.double().double().double().double()
@@ -198,6 +216,8 @@ class Point:
         never a valid curve point for b != 0)."""
         if self.z == 0:
             return (0, 0)
+        if self.z == 1:
+            return (self.x, self.y)
         p = self.curve.field.p
         # Raw modexp, not Field.inv: normalization happens at
         # serialization boundaries whose count depends on the execution

@@ -1,0 +1,232 @@
+"""Fixed-base MSM over precomputed window tables.
+
+Every Pedersen/IPA commitment in a proving session is an MSM against
+the *same* bases: the public-parameter generators ``G_i`` plus the
+blinding base ``W`` (and ``U`` for the inner-product rounds).  Those
+bases never change, so the doubling chains that dominate a generic
+Pippenger run can be paid once: for window width ``c`` we precompute
+the shifted bases ``B[i][j] = 2^(j*c) * G_i`` for every window ``j``.
+
+A commitment then needs **zero doublings**: each scalar's base-``2^c``
+digits index straight into one shared bucket set (all shifted bases
+are plain affine points, so windows do not need separate buckets), the
+buckets are reduced with one batch-affine accumulation
+(:func:`~repro.ecc.batch_affine.sum_affine_lists`), and a single
+running-sum collapse finishes the job.
+
+Tables are keyed by the :meth:`~repro.commit.params.PublicParams.fingerprint`
+of the parameter set.  A process-local registry serves repeat lookups
+(forked workers inherit it for free); optionally an
+:class:`~repro.cache.ArtifactCache` attached via :func:`configure_cache`
+persists tables across runs next to the cached parameters themselves.
+The result is always the same group element the generic
+:func:`~repro.ecc.msm.msm` would produce -- only the schedule differs.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import TYPE_CHECKING, Sequence
+
+from repro import telemetry
+from repro.cache import cache_key
+from repro.ecc.batch_affine import batch_double, sum_affine_lists
+from repro.ecc.curve import Curve, Point, curve_by_name, points_to_affine_tuples
+from repro.ecc.msm import collapse_buckets
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache import ArtifactCache
+    from repro.commit.params import PublicParams
+
+#: Window width for the shifted-base tables.  Memory per base is
+#: ``ceil(255 / c)`` affine points; c = 8 keeps that at 32 points
+#: (~2 KiB) per base while the shared bucket set stays small (255
+#: buckets) next to the number of digit insertions.
+FIXED_BASE_WINDOW = 8
+
+
+class FixedBaseTables:
+    """Shifted window multiples of a fixed base vector.
+
+    ``tables[i][j]`` is the affine ``(x, y)`` of ``2^(j*c) * base_i``
+    (``None`` when the multiple is the identity).  Plain picklable data
+    so tables travel through the artifact cache and fork boundaries.
+    """
+
+    __slots__ = ("curve_name", "c", "windows", "tables")
+
+    def __init__(
+        self,
+        curve_name: str,
+        c: int,
+        windows: int,
+        tables: list,
+    ):
+        self.curve_name = curve_name
+        self.c = c
+        self.windows = windows
+        self.tables = tables
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __getstate__(self):
+        return (self.curve_name, self.c, self.windows, self.tables)
+
+    def __setstate__(self, state):
+        self.curve_name, self.c, self.windows, self.tables = state
+
+
+def build_tables(
+    curve: Curve, points: Sequence[Point], c: int = FIXED_BASE_WINDOW
+) -> FixedBaseTables:
+    """Precompute shifted window bases for ``points``.
+
+    Pure doublings: the whole base vector is doubled ``c`` times per
+    window with elementwise batch-affine passes (one shared inversion
+    each), so building costs ~255 batch passes regardless of how many
+    bases there are.
+    """
+    if c < 1:
+        raise ValueError("window width must be positive")
+    p = curve.field.p
+    num_bits = curve.scalar_field.p.bit_length()
+    windows = (num_bits + c - 1) // c
+    coords = points_to_affine_tuples(list(points))
+    vec = [None if xy == (0, 0) else xy for xy in coords]
+    shifted = [list(vec)]
+    for _ in range(windows - 1):
+        for _ in range(c):
+            vec = batch_double(p, vec)
+        shifted.append(list(vec))
+    tables = [
+        [shifted[j][i] for j in range(windows)] for i in range(len(coords))
+    ]
+    return FixedBaseTables(curve.name, c, windows, tables)
+
+
+def fixed_base_msm(
+    tables: FixedBaseTables,
+    scalars: Sequence[int],
+    indices: Sequence[int] | None = None,
+) -> Point:
+    """``sum_i scalars[i] * base[indices[i]]`` against precomputed tables.
+
+    ``indices`` defaults to ``range(len(scalars))``.  Same group element
+    as the generic MSM over the corresponding bases; no doubling chain,
+    one shared bucket set across every window of every scalar.
+    """
+    curve = curve_by_name(tables.curve_name)
+    order = curve.scalar_field.p
+    c = tables.c
+    mask = (1 << c) - 1
+    rows = tables.tables
+    buckets: dict[int, list[tuple[int, int]]] = {}
+    live = 0
+    if indices is None:
+        indices = range(len(scalars))
+    for idx, s in zip(indices, scalars):
+        s %= order
+        if not s:
+            continue
+        row = rows[idx]
+        live += 1
+        w = 0
+        while s:
+            d = s & mask
+            if d:
+                pt = row[w]
+                if pt is not None:
+                    lst = buckets.get(d)
+                    if lst is None:
+                        buckets[d] = [pt]
+                    else:
+                        lst.append(pt)
+            s >>= c
+            w += 1
+    telemetry.incr("msm.fixed_base_calls")
+    telemetry.incr("msm.fixed_base_points", live)
+    if not buckets:
+        return curve.identity()
+    rounds = sum_affine_lists(curve.field.p, list(buckets.values()))
+    telemetry.incr("msm.batch_affine_rounds", rounds)
+    return collapse_buckets(
+        curve,
+        {d: Point(curve, *pts[0]) for d, pts in buckets.items() if pts},
+    )
+
+
+# -- per-parameter-set table registry ----------------------------------------
+
+#: Process-local tables keyed by (params fingerprint, window width).
+#: Forked workers inherit whatever the parent built before the pool
+#: started; later misses rebuild (or disk-load) per worker.
+_REGISTRY: dict[tuple[str, int], FixedBaseTables] = {}
+
+#: Optional artifact cache for cross-run persistence (see
+#: :func:`configure_cache`; sessions attach their cache here).
+_CACHE: "ArtifactCache | None" = None
+
+
+def configure_cache(cache: "ArtifactCache | None") -> None:
+    """Attach (or detach, with ``None``) the on-disk artifact cache used
+    to persist tables across runs."""
+    global _CACHE
+    _CACHE = cache
+
+
+def clear_registry() -> None:
+    """Drop every in-process table (tests)."""
+    _REGISTRY.clear()
+
+
+def _disk_key(fingerprint: str, c: int) -> str:
+    return cache_key("fixedbase", fingerprint, c)
+
+
+def lookup_tables(fingerprint: str, c: int = FIXED_BASE_WINDOW) -> FixedBaseTables | None:
+    """Registry (then disk) lookup only -- never builds.  Worker tasks
+    use this: on a miss they fall back to the generic MSM."""
+    key = (fingerprint, c)
+    tables = _REGISTRY.get(key)
+    if tables is not None:
+        telemetry.incr("msm.fixed_base_table_hits")
+        return tables
+    if _CACHE is not None:
+        raw = _CACHE.get_bytes(_disk_key(fingerprint, c))
+        if raw is not None:
+            try:
+                tables = pickle.loads(raw)
+            except Exception:
+                tables = None
+            if isinstance(tables, FixedBaseTables):
+                _REGISTRY[key] = tables
+                telemetry.incr("msm.fixed_base_table_hits")
+                return tables
+    return None
+
+
+def tables_for_params(
+    params: "PublicParams", c: int = FIXED_BASE_WINDOW
+) -> FixedBaseTables:
+    """The (cached) tables for ``params``'s bases ``g + [w, u]``.
+
+    Base index ``i < n`` is ``g[i]``; index ``n`` is the blinding base
+    ``w`` and ``n + 1`` is ``u``.  Built on first use per parameter
+    fingerprint, registered in-process, and persisted through the
+    attached artifact cache when one is configured.
+    """
+    fingerprint = params.fingerprint()
+    tables = lookup_tables(fingerprint, c)
+    if tables is not None:
+        return tables
+    bases = list(params.g) + [params.w, params.u]
+    tables = build_tables(params.curve, bases, c)
+    _REGISTRY[(fingerprint, c)] = tables
+    telemetry.incr("msm.fixed_base_table_builds")
+    if _CACHE is not None:
+        _CACHE.put_bytes(
+            _disk_key(fingerprint, c),
+            pickle.dumps(tables, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+    return tables

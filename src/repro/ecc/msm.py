@@ -5,6 +5,17 @@ Pippenger's bucket method computes an n-point MSM in roughly
 ``n * 255 / c + 2^c`` group additions for window size ``c``, versus
 ``n * 255`` for naive per-point scalar multiplication.
 
+Two independent kernel optimizations ride on top (both produce the
+same group elements as the reference path, see ``repro.kernels``):
+
+- **GLV splitting** (:mod:`repro.ecc.glv`): every scalar is decomposed
+  against the curve's cube-root endomorphism into two ~128-bit halves,
+  halving the number of bucket windows and the doubling chain.
+- **Batch-affine buckets** (:mod:`repro.ecc.batch_affine`): bucket
+  accumulation runs on affine coordinates, resolving each round of
+  pairwise additions with one shared Montgomery batch inversion
+  instead of one ~16-multiplication Jacobian add per pair.
+
 The bucket windows are independent, so with workers configured in
 :mod:`repro.parallel` they are computed across processes and combined
 in the usual doubling chain; the result is bit-identical to the serial
@@ -15,7 +26,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro import parallel, telemetry
+from repro import kernels, parallel, telemetry
+from repro.ecc import glv
+from repro.ecc.batch_affine import linear_combination, sum_affine_lists
 from repro.ecc.curve import (
     Curve,
     Point,
@@ -28,6 +41,11 @@ from repro.ecc.curve import (
 #: out windows exceeds the bucket work itself.
 PARALLEL_THRESHOLD = 64
 
+#: Below this many nonzero pairs the fast path sums per-point GLV
+#: scalar multiplications directly -- bucket machinery only pays off
+#: once the shared inversions amortize.
+_TINY_MSM = 8
+
 
 def _window_size(n: int) -> int:
     """Heuristic window size ~ log2(n) (clamped), the standard choice."""
@@ -39,13 +57,29 @@ def _window_size(n: int) -> int:
     return min(c, 16)
 
 
+def _fast_window_size(n: int) -> int:
+    """Window size for the batch-affine path: smaller than the classic
+    ``log2(n)`` so buckets collect several points each.
+
+    The classic choice makes buckets singletons, which starves the
+    shared inversion: all the work lands in the per-bucket Jacobian
+    collapse.  Batched affine adds cost ~4 multiplications against ~16
+    for the collapse's Jacobian ops, so the optimum shifts toward more
+    collisions per bucket (~2^c = n/16) and fewer live buckets.
+    """
+    if n < 64:
+        return 3
+    return max(3, min(n.bit_length() - 5, 16))
+
+
 def _window_sum(
     curve: Curve,
     pairs: Sequence[tuple[Point, int]],
     c: int,
     w: int,
 ) -> Point:
-    """The bucketed sum of window ``w`` (the Pippenger inner loop)."""
+    """The bucketed sum of window ``w`` (the reference Jacobian inner
+    loop, kept as the kernel baseline)."""
     mask = (1 << c) - 1
     shift = w * c
     buckets: list[Point | None] = [None] * mask
@@ -110,6 +144,181 @@ def _all_window_sums(
     return window_sums
 
 
+# -- batch-affine fast path ---------------------------------------------------
+
+
+def collapse_buckets(curve: Curve, buckets: dict[int, Point]) -> Point:
+    """``sum_k k * buckets[k]`` by descending running sums, multiplying
+    across empty runs (``total += gap * running``) instead of visiting
+    every empty slot."""
+    total = curve.identity()
+    running = curve.identity()
+    prev = 0
+    for idx in sorted(buckets, reverse=True):
+        if prev:
+            total = total + running * (prev - idx)
+        running = running + buckets[idx]
+        prev = idx
+    if prev:
+        total = total + running * prev
+    return total
+
+
+def _affine_window_sums(
+    curve: Curve,
+    entries: list[tuple[int, int, int]],
+    c: int,
+    w_lo: int,
+    w_hi: int,
+) -> list[Point]:
+    """Window sums ``[w_lo, w_hi)`` over GLV-split affine entries.
+
+    All windows of the range share one batch-affine accumulation, so
+    the per-round inversion amortizes across every bucket of every
+    window at once.
+    """
+    p = curve.field.p
+    mask = (1 << c) - 1
+    per_window: list[dict[int, list[tuple[int, int]]]] = [
+        {} for _ in range(w_lo, w_hi)
+    ]
+    for x, y, s in entries:
+        pt = (x, y)
+        for w, buckets in enumerate(per_window, start=w_lo):
+            idx = (s >> (w * c)) & mask
+            if idx:
+                buckets.setdefault(idx, []).append(pt)
+    all_lists = [pts for buckets in per_window for pts in buckets.values()]
+    rounds = sum_affine_lists(p, all_lists)
+    telemetry.incr("msm.batch_affine_rounds", rounds)
+    return [
+        collapse_buckets(
+            curve,
+            {
+                idx: Point(curve, *pts[0])
+                for idx, pts in buckets.items()
+                if pts
+            },
+        )
+        for buckets in per_window
+    ]
+
+
+def _affine_window_sums_task(
+    curve_name: str,
+    entries: list[tuple[int, int, int]],
+    c: int,
+    w_lo: int,
+    w_hi: int,
+) -> list[tuple[int, int]]:
+    """Worker task: batch-affine window sums for a window range."""
+    curve = curve_by_name(curve_name)
+    return points_to_affine_tuples(
+        _affine_window_sums(curve, entries, c, w_lo, w_hi)
+    )
+
+
+def _msm_fast(curve: Curve, pairs: list[tuple[Point, int]]) -> Point:
+    """Batch-affine Pippenger over GLV-split half-width scalars."""
+    if len(pairs) < _TINY_MSM:
+        acc = curve.identity()
+        for pt, s in pairs:
+            acc = acc + pt * s
+        return acc
+    coords = points_to_affine_tuples([pt for pt, _ in pairs])
+    entries = glv.split_entries(curve, coords, [s for _, s in pairs])
+    if not entries:
+        return curve.identity()
+    c = _fast_window_size(len(entries))
+    num_bits = max(s.bit_length() for _, _, s in entries)
+    num_windows = (num_bits + c - 1) // c
+    if (
+        not parallel.is_parallel()
+        or len(pairs) < PARALLEL_THRESHOLD
+        or num_windows < 2
+    ):
+        window_sums = _affine_window_sums(curve, entries, c, 0, num_windows)
+    else:
+        tasks = [
+            (curve.name, entries, c, lo, hi)
+            for lo, hi in parallel.chunk_bounds(num_windows, parallel.workers())
+        ]
+        window_sums = []
+        for chunk in parallel.pmap(_affine_window_sums_task, tasks):
+            window_sums.extend(points_from_affine_tuples(curve, chunk))
+    acc = window_sums[-1]
+    for total in reversed(window_sums[:-1]):
+        for _ in range(c):
+            acc = acc.double()
+        acc = acc + total
+    return acc
+
+
+#: Base folds shorter than this run the per-element reference path --
+#: the vectorized schedule needs enough elements to amortize its
+#: digit-table construction.
+_FOLD_MIN = 32
+
+
+def fold_bases(
+    g_lo: Sequence[Point],
+    g_hi: Sequence[Point],
+    u_inv: int,
+    u: int,
+) -> list[Point]:
+    """The IPA base fold ``[u_inv * lo + u * hi for lo, hi in zip(..)]``.
+
+    The reference path pays a two-point MSM (two full scalar
+    multiplications) per element.  Since *every* element shares the same
+    two scalars, the fast path runs one vectorized double-and-add over
+    the whole vector -- each step a single batch-affine pass with one
+    shared inversion -- after GLV-splitting both scalars to half width.
+    Same group elements either way.
+    """
+    curve = g_lo[0].curve
+    if not kernels.fastpath_enabled() or len(g_lo) < _FOLD_MIN:
+        return [msm([lo, hi], [u_inv, u]) for lo, hi in zip(g_lo, g_hi)]
+    p = curve.field.p
+    order = curve.scalar_field.p
+    endo = glv.curve_endo(curve)
+    streams: list[tuple[list, int]] = []
+    for pts, s in ((g_lo, u_inv % order), (g_hi, u % order)):
+        coords = points_to_affine_tuples(list(pts))
+        vec = [None if xy == (0, 0) else xy for xy in coords]
+        if endo is None:
+            if s:
+                streams.append((vec, s))
+            continue
+        k1, k2 = glv.decompose(endo, s)
+        if k1:
+            v1 = (
+                vec
+                if k1 > 0
+                else [None if q is None else (q[0], p - q[1]) for q in vec]
+            )
+            streams.append((v1, k1 if k1 > 0 else -k1))
+        if k2:
+            zeta = endo.zeta
+            v2 = [
+                None
+                if q is None
+                else (zeta * q[0] % p, q[1] if k2 > 0 else p - q[1])
+                for q in vec
+            ]
+            streams.append((v2, k2 if k2 > 0 else -k2))
+    if endo is not None:
+        telemetry.incr("msm.glv_splits", 2)
+    if not streams:
+        identity = curve.identity()
+        return [identity for _ in g_lo]
+    acc = linear_combination(p, streams, width=4)
+    identity = curve.identity()
+    return [identity if a is None else Point(curve, *a) for a in acc]
+
+
+# -- public entry points ------------------------------------------------------
+
+
 def msm(points: Sequence[Point], scalars: Sequence[int]) -> Point:
     """Compute ``sum_i scalars[i] * points[i]``.
 
@@ -122,11 +331,11 @@ def msm(points: Sequence[Point], scalars: Sequence[int]) -> Point:
         raise ValueError("msm of zero points; use curve.identity()")
     curve: Curve = points[0].curve
     order = curve.scalar_field.p
-    pairs = [
-        (pt, s % order)
-        for pt, s in zip(points, scalars)
-        if s % order != 0 and not pt.is_identity()
-    ]
+    pairs = []
+    for pt, s in zip(points, scalars):
+        s %= order  # reduced once, reused for both the filter and the sum
+        if s and not pt.is_identity():
+            pairs.append((pt, s))
     # Counted here (not in the window workers) so serial and parallel
     # runs report identical totals.
     telemetry.incr("msm.calls")
@@ -136,9 +345,16 @@ def msm(points: Sequence[Point], scalars: Sequence[int]) -> Point:
     if len(pairs) == 1:
         pt, s = pairs[0]
         return pt * s
+    if kernels.fastpath_enabled():
+        return _msm_fast(curve, pairs)
+    return _msm_jacobian(curve, pairs)
 
+
+def _msm_jacobian(curve: Curve, pairs: list[tuple[Point, int]]) -> Point:
+    """The pre-existing full-width Jacobian Pippenger (the benchmark
+    baseline the batch-affine path is validated and raced against)."""
     c = _window_size(len(pairs))
-    num_bits = order.bit_length()
+    num_bits = curve.scalar_field.p.bit_length()
     num_windows = (num_bits + c - 1) // c
 
     window_sums = _all_window_sums(curve, pairs, c, num_windows)

@@ -1,0 +1,52 @@
+"""Global switch for the algebraic kernel fast paths.
+
+The kernel layer (batch-affine Pippenger, GLV scalar decomposition,
+fixed-base window tables, cached NTT twiddles) produces group elements
+and evaluation vectors identical to the reference paths -- proofs come
+out byte-for-byte the same -- so the switch exists purely so benchmarks
+and tests can measure or validate the reference implementations
+in-process (``benchmarks/bench_kernels.py`` times both sides of every
+kernel from one interpreter).
+
+The flag is process-local.  Worker processes inherit the value at fork
+time; the comparison benchmarks therefore run their reference passes
+under the serial backend, where no stale worker state exists.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENV_FLAG = "REPRO_KERNEL_FASTPATH"
+
+_fastpath: bool = os.environ.get(_ENV_FLAG, "1").strip().lower() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
+
+def fastpath_enabled() -> bool:
+    """True when the optimized kernels are active (the default)."""
+    return _fastpath
+
+
+def set_fastpath(on: bool) -> bool:
+    """Switch the kernel fast paths; returns the previous setting."""
+    global _fastpath
+    previous = _fastpath
+    _fastpath = bool(on)
+    return previous
+
+
+@contextmanager
+def fastpath(on: bool) -> Iterator[None]:
+    """Temporarily force the fast paths on or off (tests, benchmarks)."""
+    previous = set_fastpath(on)
+    try:
+        yield
+    finally:
+        set_fastpath(previous)

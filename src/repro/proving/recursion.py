@@ -20,9 +20,11 @@ performs the single combined check.
 
 from __future__ import annotations
 
+from repro import kernels
 from repro.algebra.field import Field
 from repro.commit.ipa import IpaProof, reduce_opening
 from repro.commit.params import PublicParams
+from repro.ecc import fixed_base
 from repro.ecc.curve import Point
 from repro.ecc.msm import msm
 from repro.transcript import Transcript
@@ -84,5 +86,9 @@ class Accumulator:
         """Perform the single combined MSM check for all deferred claims."""
         if self._deferred == 0:
             return True
-        folded = msm(list(self.params.g), self._scalars)
+        if kernels.fastpath_enabled():
+            tables = fixed_base.tables_for_params(self.params)
+            folded = fixed_base.fixed_base_msm(tables, self._scalars)
+        else:
+            folded = msm(list(self.params.g), self._scalars)
         return (folded + self._residual).is_identity()

@@ -1,0 +1,239 @@
+"""Kernel fast-path equivalence: every optimized kernel must produce
+exactly what the reference path produces.
+
+The kernel layer (batch-affine Pippenger, GLV splitting, fixed-base
+tables, cached NTT plans) claims *bit-identical* results -- same group
+elements, same serialized proofs -- so these tests compare against the
+reference implementations directly, including the adversarial inputs
+(duplicate points, inverse pairs, zero scalars, identity points) where
+affine arithmetic has exceptional cases.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels, parallel
+from repro.algebra import SCALAR_FIELD
+from repro.algebra.domain import EvaluationDomain, fft_in_place
+from repro.algebra.fft_plan import NttPlan, ntt_in_place, plan_for
+from repro.commit.ipa import commit_polynomial, commit_polynomials
+from repro.commit.pedersen import pedersen_commit
+from repro.ecc import PALLAS, VESTA
+from repro.ecc import fixed_base, glv
+from repro.ecc.curve import Point
+from repro.ecc.msm import fold_bases, msm, msm_naive
+
+scalars = st.integers(min_value=0, max_value=SCALAR_FIELD.p - 1)
+
+
+def _points(n, seed=1):
+    """A deterministic mix of distinct, duplicate, inverse, and
+    identity points."""
+    rng = random.Random(seed)
+    g = PALLAS.generator
+    pts = []
+    for i in range(n):
+        kind = rng.randrange(8)
+        if kind == 0 and pts:
+            pts.append(pts[rng.randrange(len(pts))])  # duplicate
+        elif kind == 1 and pts:
+            pts.append(-pts[rng.randrange(len(pts))])  # inverse pair
+        elif kind == 2:
+            pts.append(PALLAS.identity())
+        else:
+            pts.append(g * rng.randrange(1, SCALAR_FIELD.p))
+    return pts
+
+
+class TestBatchAffineMsm:
+    @given(st.lists(scalars, min_size=2, max_size=24), st.integers(0, 2**32))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_naive(self, sc, seed):
+        pts = _points(len(sc), seed)
+        assert msm(pts, sc) == msm_naive(pts, sc)
+
+    def test_matches_jacobian_reference_at_size(self):
+        rng = random.Random(5)
+        pts = _points(300, seed=5)
+        sc = [rng.randrange(SCALAR_FIELD.p) for _ in pts]
+        fast = msm(pts, sc)
+        with kernels.fastpath(False):
+            ref = msm(pts, sc)
+        assert fast == ref
+
+    def test_all_zero_scalars(self):
+        pts = _points(16)
+        assert msm(pts, [0] * 16).is_identity()
+
+    def test_cancelling_inputs(self):
+        g = PALLAS.generator
+        pts = [g, -g, g * 3]
+        assert msm(pts, [7, 7, 0]).is_identity()
+
+
+class TestGlv:
+    def test_endo_exists_for_pasta(self):
+        assert glv.curve_endo(PALLAS) is not None
+        assert glv.curve_endo(VESTA) is not None
+
+    def test_endo_is_lambda_mul(self):
+        endo = glv.curve_endo(PALLAS)
+        p = PALLAS.field.p
+        rng = random.Random(11)
+        for _ in range(10):
+            q = PALLAS.generator * rng.randrange(1, SCALAR_FIELD.p)
+            x, y = q.to_affine()
+            phi_q = Point(PALLAS, endo.zeta * x % p, y)
+            assert q * endo.lam == phi_q
+
+    @given(scalars)
+    @settings(max_examples=40, deadline=None)
+    def test_decompose_round_trip_and_bounds(self, k):
+        endo = glv.curve_endo(PALLAS)
+        n = SCALAR_FIELD.p
+        k1, k2 = glv.decompose(endo, k)
+        assert (k1 + endo.lam * k2) % n == k % n
+        # Halves are ~sqrt(n) ~ 128 bits (slack for rounding).
+        assert abs(k1).bit_length() <= 130
+        assert abs(k2).bit_length() <= 130
+
+    @given(scalars)
+    @settings(max_examples=15, deadline=None)
+    def test_endo_mul_matches_windowed(self, k):
+        endo = glv.curve_endo(PALLAS)
+        q = PALLAS.generator * 123457
+        with kernels.fastpath(False):
+            ref = q * k
+        assert glv.endo_mul(q, k % SCALAR_FIELD.p, endo) == ref if k % SCALAR_FIELD.p else True
+
+
+class TestFixedBase:
+    def test_fixed_base_matches_generic(self, params_k6):
+        tables = fixed_base.tables_for_params(params_k6)
+        rng = random.Random(13)
+        bases = list(params_k6.g) + [params_k6.w, params_k6.u]
+        sc = [rng.randrange(SCALAR_FIELD.p) for _ in bases]
+        fast = fixed_base.fixed_base_msm(tables, sc)
+        with kernels.fastpath(False):
+            ref = msm(bases, sc)
+        assert fast == ref
+
+    def test_subset_indices(self, params_k6):
+        tables = fixed_base.tables_for_params(params_k6)
+        idx = [3, 0, 17, params_k6.n]  # out-of-order g's plus w
+        sc = [5, SCALAR_FIELD.p - 1, 0, 2**200]
+        bases = [params_k6.g[3], params_k6.g[0], params_k6.g[17], params_k6.w]
+        with kernels.fastpath(False):
+            ref = msm(bases, sc)
+        assert fixed_base.fixed_base_msm(tables, sc, idx) == ref
+
+    def test_zero_scalars_give_identity(self, params_k6):
+        tables = fixed_base.tables_for_params(params_k6)
+        assert fixed_base.fixed_base_msm(tables, [0, 0, 0]).is_identity()
+
+    def test_commit_routes_identically(self, params_k6):
+        rng = random.Random(17)
+        vals = [rng.randrange(SCALAR_FIELD.p) for _ in range(params_k6.n // 2)]
+        blind = rng.randrange(SCALAR_FIELD.p)
+        fast_p = pedersen_commit(params_k6, vals, blind)
+        fast_c = commit_polynomial(params_k6, vals, blind)
+        with kernels.fastpath(False):
+            ref_p = pedersen_commit(params_k6, vals, blind)
+            ref_c = commit_polynomial(params_k6, vals, blind)
+        assert fast_p == ref_p
+        assert fast_c == ref_c
+
+    def test_fingerprint_distinguishes_truncation(self, params_k6):
+        assert params_k6.fingerprint() != params_k6.truncated(5).fingerprint()
+        assert params_k6.fingerprint() == params_k6.fingerprint()
+
+
+class TestFoldBases:
+    def test_fold_matches_per_element(self, field):
+        rng = random.Random(19)
+        m = 48  # above the vectorized threshold
+        g_lo = _points(m, seed=19)
+        g_hi = _points(m, seed=23)
+        u = rng.randrange(1, field.p)
+        u_inv = field.inv(u)
+        fast = fold_bases(g_lo, g_hi, u_inv, u)
+        with kernels.fastpath(False):
+            ref = [msm([lo, hi], [u_inv, u]) for lo, hi in zip(g_lo, g_hi)]
+        assert fast == ref
+
+
+class TestNttPlans:
+    @given(st.integers(2, 6), st.integers(0, 2**32))
+    @settings(max_examples=10, deadline=None)
+    def test_plan_matches_reference(self, k, seed):
+        field = SCALAR_FIELD
+        n = 1 << k
+        omega = field.root_of_unity_of_order(n)
+        rng = random.Random(seed)
+        vec = [rng.randrange(field.p) for _ in range(n)]
+        fast = list(vec)
+        ntt_in_place(fast, plan_for(n, omega, field.p))
+        ref = list(vec)
+        with kernels.fastpath(False):
+            fft_in_place(ref, omega, field.p)
+        assert fast == ref
+
+    def test_domain_round_trip_both_paths(self, field):
+        dom = EvaluationDomain(field, 5)
+        rng = random.Random(29)
+        vec = [rng.randrange(field.p) for _ in range(dom.size)]
+        assert dom.ifft(dom.fft(vec)) == vec
+        assert dom.coset_ifft(dom.coset_fft(vec, 5), 5) == vec
+        with kernels.fastpath(False):
+            assert dom.ifft(dom.fft(vec)) == vec
+            assert dom.coset_ifft(dom.coset_fft(vec, 5), 5) == vec
+
+    def test_plan_size_validation(self):
+        with pytest.raises(ValueError):
+            NttPlan(6, 1, 97)
+        plan = plan_for(4, SCALAR_FIELD.root_of_unity_of_order(4), SCALAR_FIELD.p)
+        with pytest.raises(ValueError):
+            ntt_in_place([1, 2], plan)
+
+
+class TestBackendParity:
+    """Serial and parallel execution must be bit-identical with the
+    fast path on (window ownership moves across processes, arithmetic
+    does not)."""
+
+    def test_msm_parallel_matches_serial(self):
+        rng = random.Random(31)
+        pts = _points(128, seed=31)
+        sc = [rng.randrange(SCALAR_FIELD.p) for _ in pts]
+        serial = msm(pts, sc)
+        with parallel.parallelism(2):
+            par = msm(pts, sc)
+        assert serial == par
+
+    def test_batch_commit_parallel_matches_serial(self, params_k6):
+        rng = random.Random(37)
+        items = [
+            (
+                [rng.randrange(SCALAR_FIELD.p) for _ in range(params_k6.n)],
+                rng.randrange(SCALAR_FIELD.p),
+            )
+            for _ in range(4)
+        ]
+        serial = commit_polynomials(params_k6, items)
+        with parallel.parallelism(2):
+            par = commit_polynomials(params_k6, items)
+        assert [p.to_bytes() for p in serial] == [p.to_bytes() for p in par]
+
+    def test_fft_many_parallel_matches_serial(self, field):
+        dom = EvaluationDomain(field, 8)
+        rng = random.Random(41)
+        vecs = [
+            [rng.randrange(field.p) for _ in range(dom.size)] for _ in range(4)
+        ]
+        serial = dom.fft_many(vecs)
+        with parallel.parallelism(2):
+            par = dom.fft_many(vecs)
+        assert serial == par
