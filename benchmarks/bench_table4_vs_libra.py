@@ -32,6 +32,7 @@ from repro.baselines.gkr import gkr_prove, gkr_verify
 from repro.baselines.gkr.sql_circuits import filter_sum_circuit
 from repro.bench.reporting import Report
 from repro.commit import setup
+from repro.config import ProverConfig
 from repro.db import ColumnDef, Database, TableSchema
 from repro.db.types import INT
 from repro.system import ProverNode, VerifierNode
@@ -52,7 +53,13 @@ def _pone_roundtrip():
         [(i + 1, v) for i, v in enumerate(VALUES)],
     )
     params = setup(7)
-    prover = ProverNode(db, params, 7, limb_bits=4, value_bits=16, key_bits=16)
+    prover = ProverNode(
+        db,
+        params,
+        config=ProverConfig(
+            k=7, limb_bits=4, value_bits=16, key_bits=16, use_cache=False
+        ),
+    )
     commitment = prover.publish_commitment()
     verifier = VerifierNode(params, prover.public_metadata(), commitment)
     t0 = time.perf_counter()

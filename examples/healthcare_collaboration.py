@@ -18,6 +18,7 @@ from repro.proving.recursion import Accumulator
 from repro.algebra import SCALAR_FIELD
 from repro.db import ColumnDef, Database, TableSchema
 from repro.db.types import DATE, INT, STRING
+from repro.config import ProverConfig
 from repro.system import ProverNode, VerifierNode
 
 # Institution X's private study data.
@@ -50,7 +51,13 @@ db.create_table(
 
 K = 7
 params = setup(K)
-institution_x = ProverNode(db, params, K, limb_bits=4, value_bits=24, key_bits=16)
+institution_x = ProverNode(
+    db,
+    params,
+    config=ProverConfig(
+        k=K, limb_bits=4, value_bits=24, key_bits=16, use_cache=False
+    ),
+)
 commitment = institution_x.publish_commitment()
 metadata = institution_x.public_metadata()
 print("institution X committed its cohort database\n")

@@ -20,6 +20,7 @@ from repro.sql.executor import Executor
 from repro.sql.parser import parse
 from repro.sql.planner import Planner
 from repro.sql.plan import describe
+from repro.config import ProverConfig
 from repro.system import ProverNode, VerifierNode
 from repro.tpch import QUERIES, generate
 
@@ -33,7 +34,13 @@ print({name: len(t) for name, t in db.tables.items()})
 
 if REAL_PROOFS:
     params = setup(K)
-    prover = ProverNode(db, params, K, limb_bits=4, value_bits=32, key_bits=40)
+    prover = ProverNode(
+        db,
+        params,
+        config=ProverConfig(
+            k=K, limb_bits=4, value_bits=32, key_bits=40, use_cache=False
+        ),
+    )
     commitment = prover.publish_commitment()
     verifier = VerifierNode(params, prover.public_metadata(), commitment)
 

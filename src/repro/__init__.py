@@ -1,27 +1,89 @@
 """PoneglyphDB reproduction: ZK proofs of SQL query execution.
 
-The top-level names are the session facade -- everything else lives in
-the subpackages (``repro.system`` for the explicit prover/verifier
-roles, ``repro.sql`` for the query pipeline, ``repro.proving`` for the
-proof system internals)::
+The top-level names are the full public surface: the session facade,
+its configuration, the explicit system roles, the async proving
+service, and the typed error hierarchy::
 
     from repro import PoneglyphDB, ProverConfig
 
     with PoneglyphDB.open(db, ProverConfig(k=7)) as session:
         response = session.prove("select count(*) from patients")
         assert session.verify(response).accepted
+
+or, serving many clients asynchronously::
+
+    from repro import ServiceConfig
+
+    with session.serve(ServiceConfig(workers=4)) as service:
+        job = service.submit("select count(*) from patients")
+        response = service.wait(job)
+
+Everything else lives in the subpackages (``repro.sql`` for the query
+pipeline, ``repro.proving`` for the proof system internals,
+``repro.ecc`` for curve arithmetic and the kernel fast path).
 """
 
 from repro import telemetry
 from repro.api import PoneglyphDB, Session
 from repro.cache import ArtifactCache, default_cache_dir
-from repro.config import ProverConfig
+from repro.config import ProverConfig, ServiceConfig
+from repro.errors import (
+    ConfigError,
+    JobFailed,
+    JobNotFound,
+    ReproError,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    StateError,
+    VerificationFailure,
+    WireFormatError,
+)
+from repro.service import (
+    JobId,
+    JobState,
+    JobStatus,
+    Priority,
+    ProvingService,
+)
+from repro.system import (
+    BatchReport,
+    ProverNode,
+    QueryResponse,
+    VerificationReport,
+    VerifierNode,
+)
 
 __all__ = [
+    # Session facade
     "PoneglyphDB",
     "Session",
     "ProverConfig",
+    "ServiceConfig",
     "ArtifactCache",
     "default_cache_dir",
     "telemetry",
+    # System roles and their artifacts
+    "ProverNode",
+    "VerifierNode",
+    "QueryResponse",
+    "VerificationReport",
+    "BatchReport",
+    # Async proving service
+    "ProvingService",
+    "JobId",
+    "JobState",
+    "JobStatus",
+    "Priority",
+    # Error hierarchy
+    "ReproError",
+    "ConfigError",
+    "StateError",
+    "WireFormatError",
+    "VerificationFailure",
+    "ServiceError",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "JobFailed",
+    "JobNotFound",
 ]

@@ -22,6 +22,7 @@ from repro.algebra.field import (
     SCALAR_FIELD,
     Field,
     Felt,
+    deterministic_rng,
 )
 from repro.algebra.domain import EvaluationDomain
 from repro.algebra.poly import Polynomial
@@ -33,4 +34,5 @@ __all__ = [
     "Felt",
     "EvaluationDomain",
     "Polynomial",
+    "deterministic_rng",
 ]

@@ -21,10 +21,45 @@ boundaries and in tests.  Hot loops in the prover work directly on ints.
 from __future__ import annotations
 
 import hashlib
+import random as _random
 import secrets
-from typing import Iterable, Sequence
+import threading
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Sequence
 
 from repro import telemetry
+
+#: Thread-local override stream for :meth:`Field.rand` (see
+#: :func:`deterministic_rng`).  Thread-local so concurrent proving jobs
+#: with independent seeds never interleave their draws.
+_RNG_LOCAL = threading.local()
+
+
+@contextmanager
+def deterministic_rng(seed: int) -> Iterator[None]:
+    """Route every ``Field.rand()`` call on this thread through a
+    PRNG seeded with ``seed`` for the duration of the scope.
+
+    This exists for *reproducibility*, not security: two proves of the
+    same statement under the same seed draw identical blinding factors
+    and therefore serialize to identical wire bytes.  The proving
+    service uses it to let clients cross-check an async proof against a
+    synchronous one (and tests to pin proof bytes).  Production proving
+    must run outside this scope, where :meth:`Field.rand` keeps using
+    the ``secrets`` CSPRNG.
+
+    Scopes nest; each ``with`` installs a fresh stream and restores the
+    previous one on exit.  A forked worker inherits the installing
+    thread's stream, but all blinding draws happen on the proving
+    thread itself, so parallel-backend fan-out does not perturb the
+    sequence.
+    """
+    previous = getattr(_RNG_LOCAL, "rng", None)
+    _RNG_LOCAL.rng = _random.Random(seed)
+    try:
+        yield
+    finally:
+        _RNG_LOCAL.rng = previous
 
 # The Pasta primes (as used by zcash/halo2).
 PALLAS_BASE_MODULUS = (
@@ -239,7 +274,11 @@ class Field:
     # -- element construction -------------------------------------------
 
     def rand(self) -> int:
-        """A uniformly random field element (cryptographic randomness)."""
+        """A uniformly random field element (cryptographic randomness,
+        unless the calling thread is inside :func:`deterministic_rng`)."""
+        rng = getattr(_RNG_LOCAL, "rng", None)
+        if rng is not None:
+            return rng.randrange(self.p)
         return secrets.randbelow(self.p)
 
     def from_signed(self, v: int) -> int:

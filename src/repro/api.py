@@ -27,17 +27,25 @@ out.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro import parallel, telemetry
 from repro.cache import ArtifactCache, resolve_cache
 from repro.commit.params import PublicParams, cached_setup, setup
-from repro.config import ProverConfig
+from repro.config import ProverConfig, ServiceConfig
 from repro.db.commitment import DatabaseCommitment
 from repro.db.database import Database
+from repro.errors import StateError
 from repro.system.audit import AuditCertificate, audit
 from repro.system.prover_node import ProverNode, QueryResponse
-from repro.system.verifier_node import VerificationReport, VerifierNode
+from repro.system.verifier_node import (
+    BatchReport,
+    VerificationReport,
+    VerifierNode,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.service import ProvingService
 
 
 class Session:
@@ -127,7 +135,7 @@ class Session:
         """A verifier holding only public data (params, metadata,
         commitment) -- what an untrusting client would construct."""
         if self.prover.commitment is None:
-            raise RuntimeError("commit() before creating a verifier")
+            raise StateError("commit() before creating a verifier")
         if self._verifier is None:
             self._verifier = VerifierNode(
                 self.params,
@@ -146,10 +154,31 @@ class Session:
         in-memory proof object is never trusted."""
         return self.verifier().verify(response)
 
+    def batch_verify(
+        self, responses: Sequence[QueryResponse]
+    ) -> BatchReport:
+        """Verify many responses with one folded accumulator check.
+
+        Each proof is still checked individually up to its expensive
+        opening claims, which are deferred into a shared recursion
+        accumulator and settled with a single combined MSM -- the
+        per-proof cost drops accordingly (DESIGN.md section 5f)."""
+        return self.verifier().batch_verify(responses)
+
+    def serve(self, config: ServiceConfig | None = None) -> "ProvingService":
+        """Start an async proving service over this session.
+
+        Returns a :class:`~repro.service.service.ProvingService` (a
+        context manager) whose workers share this session's database,
+        parameters, and commitment.  Commits first if needed."""
+        from repro.service.service import ProvingService
+
+        return ProvingService(self, config or ServiceConfig())
+
     def audit(self) -> AuditCertificate:
         """Run the trusted auditor over the published commitment."""
         if self.prover.commitment is None or self.prover._secrets is None:
-            raise RuntimeError("commit() before auditing")
+            raise StateError("commit() before auditing")
         return audit(
             self.db, self.prover.commitment, self.prover._secrets, self.params
         )

@@ -312,13 +312,12 @@ def real_prove_query(
     verifier: VerifierNode,
 ):
     """Full cryptographic prove + verify of one TPC-H query at reduced
-    scale; returns (QueryResponse, VerificationReport)."""
+    scale; returns (QueryResponse, VerificationReport).  A rejected
+    proof aborts the benchmark with a typed
+    :class:`~repro.errors.VerificationFailure`."""
     response = prover.answer(QUERIES[query_name])
     report = verifier.verify(response)
-    if not report.accepted:
-        raise AssertionError(
-            f"benchmark proof for {query_name} rejected: {report.reason}"
-        )
+    report.require()
     return response, report
 
 

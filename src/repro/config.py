@@ -1,11 +1,20 @@
-"""The consolidated prover configuration.
+"""The consolidated configuration objects.
 
-Before this existed, the same knobs -- circuit ``k``, limb/value/key
-bit widths, and more recently worker counts and cache directories --
-were loose keyword arguments scattered across ``ProverNode.__init__``,
-keygen call sites, and every benchmark.  :class:`ProverConfig` is the
-one validated home for all of them; the old signatures survive as thin
-deprecation shims (see :mod:`repro.system.prover_node`).
+Before :class:`ProverConfig` existed, the same knobs -- circuit ``k``,
+limb/value/key bit widths, and more recently worker counts and cache
+directories -- were loose keyword arguments scattered across
+``ProverNode.__init__``, keygen call sites, and every benchmark.
+:class:`ProverConfig` is the one validated home for all of them, and
+since the legacy loose-kwarg shims were retired it is the *only*
+construction path for a prover.
+
+:class:`ServiceConfig` plays the same role for the async proving
+service (:mod:`repro.service`): worker-pool sizing, queue depth, and
+the load-shedding policy.
+
+Validation failures raise :class:`repro.errors.ConfigError` (a
+``ValueError`` subclass, so historical ``except ValueError`` handlers
+keep working).
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from typing import Any
 
 from repro.algebra.field import Field, SCALAR_FIELD
 from repro.ecc.curve import Curve, PALLAS
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -65,27 +75,102 @@ class ProverConfig:
 
     def __post_init__(self) -> None:
         if not 2 <= self.k <= self.field.two_adicity:
-            raise ValueError(
+            raise ConfigError(
                 f"k must be in [2, {self.field.two_adicity}], got {self.k}"
             )
         for name in ("limb_bits", "value_bits", "key_bits"):
             value = getattr(self, name)
             if not isinstance(value, int) or value < 1:
-                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+                raise ConfigError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
         if self.value_bits < self.limb_bits:
-            raise ValueError(
+            raise ConfigError(
                 f"value_bits ({self.value_bits}) must be at least "
                 f"limb_bits ({self.limb_bits})"
             )
         if self.workers < 0:
-            raise ValueError(f"workers must be >= 0, got {self.workers}")
+            raise ConfigError(f"workers must be >= 0, got {self.workers}")
         if self.scale < 0:
-            raise ValueError(f"scale must be >= 0, got {self.scale}")
+            raise ConfigError(f"scale must be >= 0, got {self.scale}")
 
     @property
     def n_rows(self) -> int:
         return 1 << self.k
 
     def with_options(self, **changes: Any) -> "ProverConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Sizing and policy knobs for the async proving service
+    (:class:`repro.service.ProvingService`).
+
+    Attributes
+    ----------
+    workers:
+        Long-lived prover workers.  Each worker keeps its own warm
+        proving-key cache (one entry per circuit fingerprint), so a
+        worker pays keygen/unpickling once per distinct query shape
+        instead of once per job.
+    max_queue_depth:
+        Hard bound on jobs waiting in the queue.  A ``HIGH``-priority
+        submission is shed only at this depth.
+    high_priority_reserve:
+        Queue slots held back for ``HIGH``-priority jobs: ``NORMAL`` /
+        ``LOW`` submissions are shed once the queue reaches
+        ``max_queue_depth - high_priority_reserve``, keeping headroom
+        for latency-sensitive traffic during overload.
+    warm_start:
+        Prebuild the fixed-base MSM tables for the session's parameter
+        set when the service starts (registry -> disk -> build, the
+        same fallback chain the kernel fast path uses), so the first
+        job does not pay the table build.
+    poll_interval:
+        Worker queue-poll period in seconds; bounds shutdown latency.
+    shutdown_timeout:
+        Seconds :meth:`~repro.service.ProvingService.close` waits for
+        in-flight jobs before giving up the join.
+    """
+
+    workers: int = 2
+    max_queue_depth: int = 64
+    high_priority_reserve: int = 8
+    warm_start: bool = True
+    poll_interval: float = 0.05
+    shutdown_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ConfigError(
+                f"service workers must be a positive integer, got "
+                f"{self.workers!r}"
+            )
+        if not isinstance(self.max_queue_depth, int) or self.max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be a positive integer, got "
+                f"{self.max_queue_depth!r}"
+            )
+        if (
+            not isinstance(self.high_priority_reserve, int)
+            or not 0 <= self.high_priority_reserve < self.max_queue_depth
+        ):
+            raise ConfigError(
+                f"high_priority_reserve must be in [0, max_queue_depth), got "
+                f"{self.high_priority_reserve!r}"
+            )
+        if self.poll_interval <= 0:
+            raise ConfigError(
+                f"poll_interval must be positive, got {self.poll_interval!r}"
+            )
+        if self.shutdown_timeout <= 0:
+            raise ConfigError(
+                f"shutdown_timeout must be positive, got "
+                f"{self.shutdown_timeout!r}"
+            )
+
+    def with_options(self, **changes: Any) -> "ServiceConfig":
         """A copy with the given fields replaced (validation re-runs)."""
         return replace(self, **changes)

@@ -1,0 +1,95 @@
+"""The ``repro`` exception hierarchy.
+
+Everything this package raises on purpose derives from
+:class:`ReproError`, so callers embedding the stack can catch one type
+at a service boundary.  Each subclass *also* inherits the builtin type
+the code historically raised (``ValueError``, ``RuntimeError``,
+``KeyError``), so pre-existing ``except`` clauses keep working
+unchanged.
+
+This module is dependency-free on purpose: it must be importable from
+the lowest layers (:mod:`repro.wire`, :mod:`repro.config`) without
+cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every intentional error raised by ``repro``."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object (:class:`~repro.config.ProverConfig`,
+    :class:`~repro.config.ServiceConfig`) rejected its inputs, or a
+    component was asked to run outside its configured capacity."""
+
+
+class StateError(ReproError, RuntimeError):
+    """An operation was invoked out of lifecycle order -- verifying
+    before committing, fetching a result before the job finished."""
+
+
+class WireFormatError(ReproError, ValueError):
+    """Serialized proof material is malformed: bad magic, inconsistent
+    counts, non-canonical scalars, off-curve points, or trailing
+    bytes.  (Re-exported by :mod:`repro.wire`, where the decoding rules
+    live.)"""
+
+
+class VerificationFailure(ReproError, RuntimeError):
+    """Raised by the ``require()``-style helpers when a proof that was
+    expected to verify did not.  Carries the rejecting report."""
+
+    def __init__(self, message: str, report: object | None = None):
+        super().__init__(message)
+        self.report = report
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for :mod:`repro.service` failures."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The proving service shed the submission: the job queue is at its
+    configured depth for the job's priority lane.  Carries the depth
+    observed at rejection time so clients can back off intelligently."""
+
+    def __init__(self, message: str, queue_depth: int = 0):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+
+
+class ServiceClosed(ServiceError):
+    """The proving service is shut down and no longer accepts jobs."""
+
+
+class JobNotFound(ServiceError, KeyError):
+    """No job with the given id exists in this service."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep prose
+        return self.args[0] if self.args else ""
+
+
+class JobFailed(ServiceError):
+    """The job ran and its prover raised; ``error`` is the worker-side
+    failure description."""
+
+    def __init__(self, job_id: str, error: str):
+        super().__init__(f"job {job_id} failed: {error}")
+        self.job_id = job_id
+        self.error = error
+
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "StateError",
+    "WireFormatError",
+    "VerificationFailure",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceClosed",
+    "JobNotFound",
+    "JobFailed",
+]

@@ -18,6 +18,12 @@ Design rules (every consumer relies on them):
 - **No nesting.**  A forked worker inherits this module's globals; the
   parent-PID guard makes ``pmap`` inside a worker run serially instead
   of deadlocking on the inherited pool.
+- **Thread-safe dispatch.**  The proving service's worker threads call
+  ``pmap`` concurrently; pool creation is locked so exactly one
+  process pool ever exists, and ``ProcessPoolExecutor`` serializes the
+  submissions themselves.  ``configure``/``parallelism`` remain
+  process-global settings -- scope them at session setup, not from
+  concurrent jobs.
 
 Configure globally with :func:`configure` (or the ``REPRO_WORKERS``
 environment variable), or per-scope with the :func:`parallelism`
@@ -28,6 +34,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence, TypeVar
@@ -60,6 +67,7 @@ class WorkerPool:
         self._executor: ProcessPoolExecutor | None = None
         self._parent_pid = os.getpid()
         self._broken = False
+        self._start_lock = threading.Lock()
 
     @property
     def usable(self) -> bool:
@@ -71,18 +79,19 @@ class WorkerPool:
         )
 
     def _executor_or_none(self) -> ProcessPoolExecutor | None:
-        if self._executor is None and not self._broken:
-            try:
+        with self._start_lock:
+            if self._executor is None and not self._broken:
                 try:
-                    ctx = multiprocessing.get_context("fork")
-                except ValueError:  # pragma: no cover - non-POSIX
-                    ctx = multiprocessing.get_context()
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.workers, mp_context=ctx
-                )
-            except OSError:  # pragma: no cover - fork refused
-                self._broken = True
-        return self._executor
+                    try:
+                        ctx = multiprocessing.get_context("fork")
+                    except ValueError:  # pragma: no cover - non-POSIX
+                        ctx = multiprocessing.get_context()
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers, mp_context=ctx
+                    )
+                except OSError:  # pragma: no cover - fork refused
+                    self._broken = True
+            return self._executor
 
     def starmap(
         self, fn: Callable[..., T], tasks: Sequence[tuple]
@@ -104,16 +113,18 @@ class WorkerPool:
 
 _workers: int = _env_workers()
 _pool: WorkerPool | None = None
+_pool_lock = threading.Lock()
 
 
 def configure(workers: int | None) -> None:
     """Set the global worker count.  ``0``/``1``/``None`` mean serial."""
     global _workers, _pool
     count = max(0, int(workers or 0))
-    if _pool is not None and _pool.workers != max(1, count):
-        _pool.close()
-        _pool = None
-    _workers = count
+    with _pool_lock:
+        if _pool is not None and _pool.workers != max(1, count):
+            _pool.close()
+            _pool = None
+        _workers = count
 
 
 def workers() -> int:
@@ -144,22 +155,25 @@ def pmap(fn: Callable[..., T], tasks: Sequence[tuple]) -> list[T]:
     global _pool
     if _workers <= 1 or len(tasks) < MIN_TASKS:
         return [fn(*args) for args in tasks]
-    if _pool is None:
-        _pool = WorkerPool(_workers)
+    with _pool_lock:
+        if _pool is None:
+            _pool = WorkerPool(_workers)
+        pool = _pool
     from repro import telemetry
 
     if telemetry.enabled():
-        tagged = _pool.starmap(_traced_task, [(fn, args) for args in tasks])
+        tagged = pool.starmap(_traced_task, [(fn, args) for args in tasks])
         return telemetry.absorb_task_results(tagged)
-    return _pool.starmap(fn, tasks)
+    return pool.starmap(fn, tasks)
 
 
 def shutdown() -> None:
     """Tear down the global pool (tests; atexit-safe to skip)."""
     global _pool
-    if _pool is not None:
-        _pool.close()
-        _pool = None
+    with _pool_lock:
+        if _pool is not None:
+            _pool.close()
+            _pool = None
 
 
 @contextmanager

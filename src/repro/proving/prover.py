@@ -15,6 +15,7 @@ from dataclasses import dataclass, field as dc_field
 
 from repro import telemetry
 from repro.algebra.field import Field
+from repro.errors import ReproError
 from repro.algebra.poly import evaluate_coeffs
 from repro.commit.ipa import commit_polynomial, commit_polynomials
 from repro.plonkish.assignment import Assignment
@@ -47,7 +48,7 @@ class ProverTiming:
     extra: dict[str, float] = dc_field(default_factory=dict)
 
 
-class ProvingError(ValueError):
+class ProvingError(ReproError, ValueError):
     """Raised when the witness cannot satisfy the circuit (e.g. a lookup
     input value missing from its table)."""
 

@@ -1,0 +1,24 @@
+"""``repro.service`` -- the async proving service.
+
+Layered on the :class:`~repro.api.Session` facade: submit SQL queries
+as jobs, fan them out to a farm of long-lived prover workers with warm
+proving keys, track progress live through telemetry spans, and verify
+the resulting proofs in amortized batches.  See DESIGN.md section 5f.
+"""
+
+from repro.config import ServiceConfig
+from repro.service.jobs import JobId, JobState, JobStatus, Priority
+from repro.service.queue import JobQueue
+from repro.service.scheduler import ProverWorker
+from repro.service.service import ProvingService
+
+__all__ = [
+    "JobId",
+    "JobQueue",
+    "JobState",
+    "JobStatus",
+    "Priority",
+    "ProverWorker",
+    "ProvingService",
+    "ServiceConfig",
+]

@@ -1,0 +1,160 @@
+"""Job records for the async proving service.
+
+A *job* is one ``submit()``-ed SQL query working its way through the
+queue and a prover worker.  :class:`Job` is the internal mutable
+record (guarded by its owning service's lock plus a per-job completion
+event); :class:`JobStatus` is the immutable snapshot handed to
+clients, and :class:`JobState` / :class:`Priority` are the public
+enums both sides share.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import TYPE_CHECKING, NewType, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.prover_node import QueryResponse
+
+#: Opaque job handle returned by ``ProvingService.submit``.
+JobId = NewType("JobId", str)
+
+_JOB_SEQ = itertools.count(1)
+
+
+class JobState(str, Enum):
+    """Lifecycle of a submitted job.
+
+    ``QUEUED -> RUNNING -> DONE | FAILED`` is the normal path;
+    ``CANCELLED`` is reached only when the service shuts down with the
+    job still queued.
+    """
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+class Priority(IntEnum):
+    """Scheduling lanes; lower value drains first.  ``HIGH`` jobs also
+    get exclusive use of the queue's reserved headroom under load
+    (see :class:`~repro.config.ServiceConfig.high_priority_reserve`)."""
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """An immutable point-in-time view of one job.
+
+    ``queue_position`` is 0-based among queued jobs in dispatch order
+    (``None`` once running); ``phase`` is the innermost ``prove.*``
+    telemetry span currently open on the job's worker (``None`` when
+    telemetry is disabled or the job is not running); ``phases`` maps
+    completed prover phases to their wall seconds so far.
+    """
+
+    job_id: JobId
+    state: JobState
+    sql: str
+    priority: Priority
+    queue_position: Optional[int] = None
+    phase: Optional[str] = None
+    phases: dict[str, float] = field(default_factory=dict)
+    worker: Optional[str] = None
+    error: Optional[str] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Queue wait plus run time so far (or total, once finished)."""
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return max(0.0, end - self.submitted_at)
+
+
+class Job:
+    """The service-internal mutable record for one submission."""
+
+    __slots__ = (
+        "job_id",
+        "sql",
+        "priority",
+        "seq",
+        "rng_seed",
+        "state",
+        "response",
+        "error",
+        "phase",
+        "phases",
+        "worker",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+        "done",
+    )
+
+    def __init__(
+        self,
+        sql: str,
+        priority: Priority = Priority.NORMAL,
+        rng_seed: int | None = None,
+    ):
+        self.seq = next(_JOB_SEQ)
+        self.job_id = JobId(f"job-{self.seq:06d}-{secrets.token_hex(4)}")
+        self.sql = sql
+        self.priority = Priority(priority)
+        self.rng_seed = rng_seed
+        self.state = JobState.QUEUED
+        self.response: "QueryResponse | None" = None
+        self.error: str | None = None
+        self.phase: str | None = None
+        self.phases: dict[str, float] = {}
+        self.worker: str | None = None
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        #: Set exactly once, when the job reaches a terminal state.
+        self.done = threading.Event()
+
+    @property
+    def order_key(self) -> tuple[int, int]:
+        """Heap key: priority lane first, then submission order."""
+        return (int(self.priority), self.seq)
+
+    def snapshot(self, queue_position: int | None = None) -> JobStatus:
+        return JobStatus(
+            job_id=self.job_id,
+            state=self.state,
+            sql=self.sql,
+            priority=self.priority,
+            queue_position=queue_position,
+            phase=self.phase,
+            phases=dict(self.phases),
+            worker=self.worker,
+            error=self.error,
+            submitted_at=self.submitted_at,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+        )
+
+    def finish(self, state: JobState, error: str | None = None) -> None:
+        self.state = state
+        self.error = error
+        self.finished_at = time.time()
+        self.phase = None
+        self.done.set()

@@ -1,0 +1,117 @@
+"""The prover farm: long-lived workers draining the job queue.
+
+Each :class:`ProverWorker` is a daemon thread owning a
+:meth:`~repro.system.prover_node.ProverNode.worker_clone` of the
+session's prover.  The clone shares the heavyweight read-only state
+(database, public parameters, published commitment and its secrets, the
+on-disk artifact cache) but carries a private warm-key mapping, so a
+worker pays key generation -- or even just the disk-cache unpickle --
+once per :meth:`~repro.plonkish.constraint_system.ConstraintSystem.fingerprint`
+and serves every later job of the same query shape from memory.  The
+fixed-base MSM tables live in the process-wide registry
+(:mod:`repro.ecc.fixed_base`) with its registry -> disk -> build
+fallback, so all workers share one warm copy.
+
+A job failure (malformed SQL, a prover bug, an injected crash) is
+caught at the worker loop, recorded on the job as ``FAILED`` with the
+error string, and the worker moves on -- a crash can never wedge the
+queue or leave a client blocked in ``wait()``.
+
+Live phase progress comes from the telemetry span stream: while a
+worker runs a job it registers a span observer filtered to its own
+thread, mirroring every ``prove.*`` span begin/end onto the job record
+(the same spans that later form the response's phase report).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import nullcontext
+from typing import TYPE_CHECKING
+
+from repro import telemetry
+from repro.algebra.field import deterministic_rng
+from repro.service.jobs import Job, JobState
+from repro.service.queue import JobQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.prover_node import ProverNode
+
+
+class ProverWorker(threading.Thread):
+    """One long-lived prover worker thread."""
+
+    def __init__(self, name: str, queue: JobQueue, prover: "ProverNode",
+                 poll_interval: float = 0.05):
+        super().__init__(name=name, daemon=True)
+        self._queue = queue
+        self._prover = prover
+        self._poll = poll_interval
+        self._stop_event = threading.Event()
+        self._current: Job | None = None
+        #: Per-worker completion counters surfaced by ``stats()``.
+        self.completed = 0
+        self.failed = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def request_stop(self) -> None:
+        self._stop_event.set()
+
+    def run(self) -> None:  # pragma: no branch - loop structure
+        while not self._stop_event.is_set():
+            job = self._queue.pop(timeout=self._poll)
+            if job is None:
+                if self._queue.closed:
+                    break
+                continue
+            self._execute(job)
+
+    # -- job execution ---------------------------------------------------
+
+    def _execute(self, job: Job) -> None:
+        self._current = job
+        job.state = JobState.RUNNING
+        job.worker = self.name
+        job.started_at = time.time()
+        observer = self._phase_observer(job)
+        telemetry.add_span_observer(observer)
+        try:
+            seed_scope = (
+                deterministic_rng(job.rng_seed)
+                if job.rng_seed is not None
+                else nullcontext()
+            )
+            with seed_scope:
+                job.response = self._prover.answer(job.sql)
+            job.finish(JobState.DONE)
+            self.completed += 1
+            telemetry.incr("service.jobs_done")
+        except BaseException as exc:  # a job must never kill the worker
+            job.finish(JobState.FAILED, error=f"{type(exc).__name__}: {exc}")
+            self.failed += 1
+            telemetry.incr("service.jobs_failed")
+        finally:
+            telemetry.remove_span_observer(observer)
+            self._current = None
+
+    def _phase_observer(self, job: Job):
+        """A span observer mirroring this thread's ``prove*`` spans onto
+        ``job`` (other threads' spans are ignored)."""
+        thread_id = threading.get_ident()
+
+        def observe(span, event: str) -> None:
+            if threading.get_ident() != thread_id:
+                return
+            name = getattr(span, "name", "")
+            if not name.startswith("prove"):
+                return
+            if event == "begin":
+                job.phase = name
+            else:
+                job.phases[name] = job.phases.get(name, 0.0) + span.duration
+                if job.phase == name:
+                    job.phase = None
+
+        return observe

@@ -1,0 +1,221 @@
+"""The async proving service facade.
+
+:class:`ProvingService` turns a committed :class:`~repro.api.Session`
+into a job-oriented server: clients ``submit()`` SQL and get an opaque
+:class:`~repro.service.jobs.JobId` back immediately, poll ``status()``
+for queue position and live prover phase, and collect the
+:class:`~repro.system.prover_node.QueryResponse` with ``result()`` or
+the blocking ``wait()``.  Verification stays on the session/verifier
+side; ``batch_verify()`` is re-exported here for symmetry so a serving
+deployment can amortize its check MSMs across a drained batch.
+
+The service is a context manager; ``close()`` stops admissions,
+cancels still-queued jobs (their waiters are released with a
+``CANCELLED`` terminal state, never left hanging), and joins the
+worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro import telemetry
+from repro.config import ServiceConfig
+from repro.errors import JobFailed, JobNotFound, ServiceClosed, StateError
+from repro.service.jobs import Job, JobId, JobState, JobStatus, Priority
+from repro.service.queue import JobQueue
+from repro.service.scheduler import ProverWorker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import Session
+    from repro.system.prover_node import QueryResponse
+    from repro.system.verifier_node import BatchReport
+
+
+class ProvingService:
+    """A pool of long-lived prover workers behind a priority queue.
+
+    Construct directly or via :meth:`repro.api.Session.serve`.  The
+    session must outlive the service; the service commits the database
+    on construction if the session has not already.
+    """
+
+    def __init__(self, session: "Session", config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.session = session
+        if session.prover.commitment is None:
+            session.commit()
+        if self.config.warm_start:
+            self._warm_start()
+        self.queue = JobQueue(
+            self.config.max_queue_depth, self.config.high_priority_reserve
+        )
+        self._jobs: dict[JobId, Job] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self.workers = [
+            ProverWorker(
+                name=f"prover-worker-{i}",
+                queue=self.queue,
+                prover=session.prover.worker_clone(key_cache={}),
+                poll_interval=self.config.poll_interval,
+            )
+            for i in range(self.config.workers)
+        ]
+        for worker in self.workers:
+            worker.start()
+
+    def _warm_start(self) -> None:
+        """Pre-build shared process-wide artifacts before taking jobs.
+
+        Fixed-base MSM tables are keyed by the session's public
+        parameters and shared by every worker, so building them once
+        here (registry -> disk cache -> fresh build) keeps the first
+        job's latency in line with steady state.
+        """
+        try:
+            from repro.ecc import fixed_base, kernels
+
+            if kernels.fastpath_enabled():
+                fixed_base.tables_for_params(self.session.params)
+        except Exception:  # warm start is best-effort, never fatal
+            telemetry.incr("service.warm_start_errors")
+
+    # -- client surface --------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        priority: Priority = Priority.NORMAL,
+        rng_seed: int | None = None,
+    ) -> JobId:
+        """Enqueue ``sql`` for proving and return its job handle.
+
+        Raises :class:`~repro.errors.ServiceOverloaded` when the
+        priority lane's admission bound is reached and
+        :class:`~repro.errors.ServiceClosed` after :meth:`close`.
+        ``rng_seed`` pins the proof's blinding randomness (see
+        :func:`repro.algebra.field.deterministic_rng`) so a submitted
+        job reproduces the synchronous path byte for byte; leave it
+        ``None`` for cryptographically fresh blinds.
+        """
+        if self._closed:
+            raise ServiceClosed("proving service is shut down")
+        job = Job(sql, priority=priority, rng_seed=rng_seed)
+        with self._lock:
+            self._jobs[job.job_id] = job
+        try:
+            self.queue.push(job)
+        except Exception:
+            with self._lock:
+                self._jobs.pop(job.job_id, None)
+            raise
+        return job.job_id
+
+    def status(self, job_id: JobId) -> JobStatus:
+        """A point-in-time snapshot of the job's state, queue position,
+        and live prover phase."""
+        job = self._get(job_id)
+        position = (
+            self.queue.position(job) if job.state == JobState.QUEUED else None
+        )
+        return job.snapshot(queue_position=position)
+
+    def result(self, job_id: JobId) -> "QueryResponse":
+        """The finished job's response.
+
+        Raises :class:`~repro.errors.JobFailed` for failed jobs and
+        :class:`~repro.errors.StateError` when the job has not reached
+        a terminal state yet (use :meth:`wait` to block).
+        """
+        job = self._get(job_id)
+        if job.state == JobState.DONE:
+            assert job.response is not None
+            return job.response
+        if job.state == JobState.FAILED:
+            raise JobFailed(job_id, job.error or "unknown error")
+        if job.state == JobState.CANCELLED:
+            raise JobFailed(job_id, "cancelled at service shutdown")
+        raise StateError(
+            f"{job_id} is {job.state.value}; wait() for it to finish"
+        )
+
+    def wait(self, job_id: JobId, timeout: float | None = None) -> "QueryResponse":
+        """Block until the job finishes, then return :meth:`result`.
+
+        Raises :class:`TimeoutError` if ``timeout`` seconds elapse
+        first (the job keeps running; poll or ``wait`` again).
+        """
+        job = self._get(job_id)
+        if not job.done.wait(timeout=timeout):
+            raise TimeoutError(
+                f"{job_id} still {job.state.value} after {timeout}s"
+            )
+        return self.result(job_id)
+
+    def batch_verify(self, responses: Sequence["QueryResponse"]) -> "BatchReport":
+        """Verify many responses with one folded accumulator check
+        (delegates to the session's verifier)."""
+        return self.session.verifier().batch_verify(responses)
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Service counters: queue depth, shed count, per-state job
+        totals, and per-worker completion counts."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state.value] = states.get(job.state.value, 0) + 1
+        return {
+            "queue_depth": len(self.queue),
+            "shed_count": self.queue.shed_count,
+            "jobs": states,
+            "workers": {
+                worker.name: {
+                    "completed": worker.completed,
+                    "failed": worker.failed,
+                }
+                for worker in self.workers
+            },
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop admissions, cancel queued jobs, and join the workers.
+
+        Running jobs are allowed to finish (bounded by
+        ``config.shutdown_timeout`` per worker join); queued jobs are
+        finished as ``CANCELLED`` so every waiter is released.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for job in self.queue.close():
+            job.finish(JobState.CANCELLED, error="service shut down")
+            telemetry.incr("service.jobs_cancelled")
+        for worker in self.workers:
+            worker.request_stop()
+        for worker in self.workers:
+            worker.join(timeout=self.config.shutdown_timeout)
+
+    def __enter__(self) -> "ProvingService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------
+
+    def _get(self, job_id: JobId) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFound(job_id)
+        return job

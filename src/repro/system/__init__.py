@@ -13,7 +13,11 @@
 
 from repro.system.metadata import PublicMetadata, shell_database
 from repro.system.prover_node import ProverNode, QueryResponse
-from repro.system.verifier_node import VerifierNode
+from repro.system.verifier_node import (
+    BatchReport,
+    VerificationReport,
+    VerifierNode,
+)
 from repro.system.audit import audit
 
 __all__ = [
@@ -21,6 +25,8 @@ __all__ = [
     "shell_database",
     "ProverNode",
     "QueryResponse",
+    "BatchReport",
+    "VerificationReport",
     "VerifierNode",
     "audit",
 ]

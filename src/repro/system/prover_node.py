@@ -9,15 +9,14 @@ commitment.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, MutableMapping, Optional
 
 from repro import telemetry
-from repro.algebra.field import Field, SCALAR_FIELD
 from repro.cache import ArtifactCache, resolve_cache
 from repro.commit.params import PublicParams
 from repro.config import ProverConfig
+from repro.errors import ConfigError, StateError
 from repro.db.commitment import (
     CommitmentSecrets,
     DatabaseCommitment,
@@ -25,7 +24,13 @@ from repro.db.commitment import (
 )
 from repro.db.database import Database
 from repro.plonkish.assignment import Assignment
-from repro.proving.keygen import ProvingKey, cached_keygen, finalize_fixed, keygen
+from repro.proving.keygen import (
+    ProvingKey,
+    cached_keygen,
+    finalize_fixed,
+    keygen,
+    keygen_fingerprint,
+)
 from repro.proving.proof import Proof
 from repro.proving.prover import ProverTiming, create_proof
 from repro.sql.compiler import CompiledQuery, QueryCompiler
@@ -80,56 +85,64 @@ class QueryResponse:
         return len(self.proof_bytes) if self.proof_bytes else self.proof.size_bytes()
 
 
+#: Legacy ``ProverNode`` keyword -> the ``ProverConfig`` field that
+#: replaced it (used to build an actionable TypeError).
+_LEGACY_KWARGS = {
+    "k": "k",
+    "field_": "field",
+    "limb_bits": "limb_bits",
+    "value_bits": "value_bits",
+    "key_bits": "key_bits",
+}
+
+
 class ProverNode:
     """The database owner / prover P.
 
-    The preferred construction is ``ProverNode(db, params, config=cfg)``
-    with a :class:`~repro.config.ProverConfig` (or, one level up, the
-    :class:`repro.api.PoneglyphDB` facade).  The historical loose-kwarg
-    signature ``ProverNode(db, params, k, field_, limb_bits, ...)``
-    still works as a deprecation shim and behaves exactly as before
-    (in particular: no artifact cache).
+    Construct with ``ProverNode(db, params, config=ProverConfig(...))``
+    (or, one level up, the :class:`repro.api.PoneglyphDB` facade).  The
+    historical loose-kwarg signature ``ProverNode(db, params, k, ...)``
+    was removed; passing any of its arguments raises a ``TypeError``
+    naming the :class:`~repro.config.ProverConfig` field to use instead.
+
+    ``key_cache`` is an optional in-memory mapping from keygen
+    fingerprints to warm :class:`~repro.proving.keygen.ProvingKey`
+    objects.  The proving service gives each long-lived worker its own
+    (see :mod:`repro.service.scheduler`), so a worker pays keygen --
+    or even just the disk-cache unpickle -- once per circuit shape
+    instead of once per job.  The mapping must not be shared across
+    threads: ``finalize_fixed`` mutates the cached key in place.
     """
 
     def __init__(
         self,
         db: Database,
         params: PublicParams,
-        k: int | None = None,
-        field_: Field = SCALAR_FIELD,
-        limb_bits: int = 8,
-        value_bits: int = 64,
-        key_bits: int = 48,
-        *,
+        *legacy_args: Any,
         config: ProverConfig | None = None,
         cache: ArtifactCache | None = None,
+        key_cache: MutableMapping[str, ProvingKey] | None = None,
+        **legacy_kwargs: Any,
     ):
+        if legacy_args or legacy_kwargs:
+            offending = list(_LEGACY_KWARGS)[: len(legacy_args)] + [
+                name for name in legacy_kwargs
+            ]
+            replacements = ", ".join(
+                f"{_LEGACY_KWARGS.get(name, name)}=..." for name in offending
+            )
+            raise TypeError(
+                "ProverNode's legacy loose-kwarg signature was removed; "
+                f"instead of {', '.join(offending)} pass "
+                f"config=ProverConfig({replacements})"
+            )
         if config is None:
-            if k is None:
-                raise TypeError(
-                    "ProverNode needs either k (legacy signature) or "
-                    "config=ProverConfig(...)"
-                )
-            warnings.warn(
-                "ProverNode's loose keyword signature is deprecated; pass "
-                "config=ProverConfig(k=..., limb_bits=..., ...) instead",
-                DeprecationWarning,
-                stacklevel=2,
+            raise TypeError(
+                "ProverNode requires config=ProverConfig(k=..., "
+                "limb_bits=..., value_bits=..., key_bits=...)"
             )
-            # The legacy path never caches: identical behavior to before
-            # the config existed.
-            config = ProverConfig(
-                k=k,
-                limb_bits=limb_bits,
-                value_bits=value_bits,
-                key_bits=key_bits,
-                field=field_,
-                use_cache=False,
-            )
-        elif k is not None:
-            raise TypeError("pass k via ProverConfig, not alongside config=")
         if (1 << config.k) > params.n:
-            raise ValueError("k exceeds public parameter capacity")
+            raise ConfigError("k exceeds public parameter capacity")
         self.config = config
         self.db = db
         self.params = (
@@ -143,10 +156,31 @@ class ProverNode:
         self.cache = cache if cache is not None else resolve_cache(
             config.cache_dir, enabled=config.use_cache
         )
+        self.key_cache = key_cache
         self.commitment: Optional[DatabaseCommitment] = None
         self._secrets: Optional[CommitmentSecrets] = None
         self._planner = Planner(db)
         self._executor = Executor(db)
+
+    def worker_clone(
+        self, key_cache: MutableMapping[str, ProvingKey] | None = None
+    ) -> "ProverNode":
+        """A prover sharing this node's database, parameters, published
+        commitment, and artifact cache, but with its own planner state
+        and warm-key mapping.
+
+        The proving service hands one clone to each long-lived worker:
+        the heavyweight state (db, params, commitment secrets) is
+        shared by reference, while everything ``answer()`` mutates is
+        per-clone, so workers never contend on a proving key.
+        """
+        clone = ProverNode(
+            self.db, self.params, config=self.config, cache=self.cache,
+            key_cache=key_cache if key_cache is not None else {},
+        )
+        clone.commitment = self.commitment
+        clone._secrets = self._secrets
+        return clone
 
     # -- phase 2: commitment -------------------------------------------------
 
@@ -173,7 +207,7 @@ class ProverNode:
         response's phase report accounts for essentially all wall time.
         """
         if self.commitment is None or self._secrets is None:
-            raise RuntimeError("publish_commitment() must run first")
+            raise StateError("publish_commitment() must run first")
         timing = ProverTiming()
         counters_before = telemetry.counters_snapshot()
         root = telemetry.begin_span("prove", sql=sql, k=self.k)
@@ -212,15 +246,7 @@ class ProverNode:
             timing.extra["witness"] = phase.duration
 
             phase = telemetry.begin_span("prove.keygen")
-            if self.cache.enabled:
-                pk, cache_hit = cached_keygen(
-                    self.cache, self.params, compiled.cs, self.field, self.k
-                )
-                timing.extra["keygen_cache_hit"] = 1.0 if cache_hit else 0.0
-            else:
-                pk: ProvingKey = keygen(
-                    self.params, compiled.cs, self.field, self.k
-                )
+            pk = self._obtain_proving_key(compiled, timing)
             finalize_fixed(pk, asg)
             phase.end()
             timing.extra["keygen"] = phase.duration
@@ -247,6 +273,37 @@ class ProverNode:
             circuit_summary=compiled.cs.summary(),
             report=self._phase_report(root, counters_before),
         )
+
+    def _obtain_proving_key(
+        self, compiled: CompiledQuery, timing: ProverTiming
+    ) -> ProvingKey:
+        """The proving key for ``compiled``, warmest source first:
+        in-memory ``key_cache`` (long-lived service workers), then the
+        on-disk artifact cache, then a fresh keygen.
+
+        ``timing.extra`` records which tier served the key
+        (``keygen_warm_hit`` / ``keygen_cache_hit``).
+        """
+        fingerprint = keygen_fingerprint(
+            self.params, compiled.cs, self.field, self.k
+        )
+        if self.key_cache is not None:
+            pk = self.key_cache.get(fingerprint)
+            if pk is not None:
+                timing.extra["keygen_warm_hit"] = 1.0
+                telemetry.incr("keygen.warm_hits")
+                return pk
+            timing.extra["keygen_warm_hit"] = 0.0
+        if self.cache.enabled:
+            pk, cache_hit = cached_keygen(
+                self.cache, self.params, compiled.cs, self.field, self.k
+            )
+            timing.extra["keygen_cache_hit"] = 1.0 if cache_hit else 0.0
+        else:
+            pk = keygen(self.params, compiled.cs, self.field, self.k)
+        if self.key_cache is not None:
+            self.key_cache[fingerprint] = pk
+        return pk
 
     @staticmethod
     def _phase_report(root, counters_before: dict[str, float]) -> dict | None:

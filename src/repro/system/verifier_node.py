@@ -18,12 +18,14 @@ Workflow (paper Figure 2, phase 5) plus the binding checks:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro import telemetry
 
 from repro.algebra.field import Field, SCALAR_FIELD
 from repro.commit.params import PublicParams
 from repro.db.commitment import DatabaseCommitment
+from repro.errors import VerificationFailure
 from repro.plonkish.assignment import Assignment
 from repro.proving.keygen import finalize_fixed, keygen
 from repro.proving.proof import Proof
@@ -36,13 +38,75 @@ from repro.sql.planner import Planner
 from repro.system.metadata import PublicMetadata, shell_database
 from repro.system.prover_node import QueryResponse
 
+#: Rebuilt verifying keys memoized per (sql, result_rows); bounded so a
+#: hostile query stream cannot grow the verifier without limit.
+_VK_CACHE_MAX = 32
+
 
 @dataclass
 class VerificationReport:
+    """The uniform verification outcome shape.
+
+    Every verification surface -- :meth:`VerifierNode.verify`,
+    :meth:`repro.api.Session.verify`, and each per-proof entry of a
+    :class:`BatchReport` -- returns exactly this: the accept flag, the
+    rejection reason, the elapsed wall time, and the wire size checked.
+    """
+
     accepted: bool
     reason: str = ""
     elapsed_seconds: float = 0.0
     proof_size_bytes: int = 0
+
+    def require(self) -> "VerificationReport":
+        """Return ``self`` if accepted, else raise
+        :class:`~repro.errors.VerificationFailure` with the reason."""
+        if not self.accepted:
+            raise VerificationFailure(
+                f"proof rejected: {self.reason or 'unspecified'}", report=self
+            )
+        return self
+
+
+@dataclass
+class BatchReport:
+    """The outcome of :meth:`VerifierNode.batch_verify`.
+
+    ``reports`` holds one :class:`VerificationReport` per response, in
+    submission order; ``accepted`` is True only when every individual
+    report accepted *and* the shared accumulator's single folded MSM
+    check passed.  ``deferred_openings`` counts the per-proof IPA
+    base-folding MSMs that were amortized into that one final check.
+    """
+
+    accepted: bool
+    reports: list[VerificationReport] = field(default_factory=list)
+    reason: str = ""
+    elapsed_seconds: float = 0.0
+    finalize_seconds: float = 0.0
+    deferred_openings: int = 0
+
+    @property
+    def proofs(self) -> int:
+        return len(self.reports)
+
+    @property
+    def per_proof_seconds(self) -> float:
+        return self.elapsed_seconds / len(self.reports) if self.reports else 0.0
+
+    def require(self) -> "BatchReport":
+        """Return ``self`` if the whole batch accepted, else raise
+        :class:`~repro.errors.VerificationFailure`."""
+        if not self.accepted:
+            rejected = [
+                i for i, rep in enumerate(self.reports) if not rep.accepted
+            ]
+            raise VerificationFailure(
+                f"batch rejected ({self.reason or 'proof(s) rejected'}; "
+                f"rejected indices {rejected})",
+                report=self,
+            )
+        return self
 
 
 class VerifierNode:
@@ -63,13 +127,24 @@ class VerifierNode:
         self.field = field_
         self._shell = shell_database(metadata)
         self._planner = Planner(self._shell)
+        self._vk_cache: dict[tuple[str, int], tuple] = {}
 
     def rebuild_verifying_key(self, sql: str, result_rows: int):
         """Recompile ``sql`` from public metadata and regenerate the
         verifying key (deterministic keygen; no trust in the prover).
 
         Returns ``(compiled, vk)``.  Raises on malformed queries.
+
+        Rebuilds are memoized per ``(sql, result_rows)``: keygen is a
+        pure function of public data, so a verifier checking many
+        proofs of the same query shape (the batch-verification
+        workload) pays compilation + keygen once.
         """
+        memo_key = (sql, result_rows)
+        cached = self._vk_cache.get(memo_key)
+        if cached is not None:
+            telemetry.incr("verify.vk_cache_hits")
+            return cached
         query = parse(sql)
         plan = self._planner.plan(query)
         compiled = QueryCompiler(
@@ -83,6 +158,9 @@ class VerifierNode:
         compiled.assign_public(asg, result_rows)
         pk = keygen(self.params, compiled.cs, self.field, self.metadata.k)
         finalize_fixed(pk, asg)
+        if len(self._vk_cache) >= _VK_CACHE_MAX:
+            self._vk_cache.pop(next(iter(self._vk_cache)))
+        self._vk_cache[memo_key] = (compiled, pk.vk)
         return compiled, pk.vk
 
     def verify(
@@ -167,3 +245,61 @@ class VerifierNode:
                 False, "proof rejected", proof_size_bytes=len(wire)
             )
         return VerificationReport(True, proof_size_bytes=len(wire))
+
+    def batch_verify(
+        self, responses: Sequence[QueryResponse]
+    ) -> BatchReport:
+        """Verify many responses, amortizing the expensive MSMs.
+
+        Each proof runs the full per-proof pipeline (wire decode, scan
+        links, constraint identity, logarithmic IPA round checks), but
+        the *linear-time* base-folding MSM of every IPA opening is
+        deferred into one shared recursion
+        :class:`~repro.proving.recursion.Accumulator` -- the same trick
+        :func:`~repro.proving.multiopen.multi_verify` plays across the
+        IPA rounds of a single proof, lifted across proofs.  One folded
+        MSM at the end replaces ``proofs x openings`` of them.
+
+        Soundness: a per-proof report may come back provisionally
+        accepted with its MSM claim still deferred; the batch is
+        accepted only if the final folded check also passes.  When it
+        fails, every provisionally-accepted proof is re-verified
+        individually so the reports attribute the failure to the
+        tampered proof(s) rather than condemning the whole batch
+        blindly.
+        """
+        span = telemetry.begin_span("batch_verify", proofs=len(responses))
+        try:
+            accumulator = Accumulator(self.params, self.field)
+            reports = [
+                self.verify(response, accumulator=accumulator)
+                for response in responses
+            ]
+            deferred = accumulator.deferred_count
+            finalize_sw = telemetry.stopwatch().start()
+            folded_ok = accumulator.finalize()
+            finalize_seconds = finalize_sw.end()
+            reason = ""
+            if not folded_ok:
+                # Attribute: the batch check cannot say *which* claim
+                # broke, so fall back to eager per-proof verification
+                # for everything that provisionally passed.
+                reason = "batch accumulator check failed"
+                for i, response in enumerate(responses):
+                    if reports[i].accepted:
+                        reports[i] = self.verify(response)
+            if not all(rep.accepted for rep in reports):
+                reason = reason or "proof(s) rejected"
+            accepted = folded_ok and all(rep.accepted for rep in reports)
+        except BaseException:
+            span.end(status="error")
+            raise
+        span.set(accepted=accepted, deferred=deferred).end()
+        return BatchReport(
+            accepted=accepted,
+            reports=reports,
+            reason=reason,
+            elapsed_seconds=span.duration,
+            finalize_seconds=finalize_seconds,
+            deferred_openings=deferred,
+        )

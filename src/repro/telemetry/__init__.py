@@ -102,6 +102,17 @@ def current_span() -> Span | None:
     return _TRACER.current_span()
 
 
+def add_span_observer(fn) -> None:
+    """Register ``fn(span, event)`` on the ambient tracer; ``event`` is
+    ``"begin"`` or ``"end"`` and the call happens on the span's own
+    thread.  The proving service uses this for live job-phase status."""
+    _TRACER.add_observer(fn)
+
+
+def remove_span_observer(fn) -> None:
+    _TRACER.remove_observer(fn)
+
+
 def stopwatch() -> Stopwatch:
     """A bare wall/CPU timer (never recorded in the trace).  The
     repo-wide home for ad-hoc timing -- benches and the verifier use
@@ -189,6 +200,7 @@ __all__ = [
     "TraceSnapshot",
     "Tracer",
     "absorb_task_results",
+    "add_span_observer",
     "begin_span",
     "counters_snapshot",
     "current_span",
@@ -201,6 +213,7 @@ __all__ = [
     "metrics_summary",
     "phase_report",
     "read_trace",
+    "remove_span_observer",
     "render_phases",
     "render_tree",
     "reset",

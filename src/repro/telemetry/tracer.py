@@ -244,6 +244,31 @@ class Tracer:
         self.gauges: dict[str, float] = {}
         self.roots: list[Span] = []
         self._local = threading.local()
+        #: Span lifecycle observers: ``fn(span, event)`` with event
+        #: ``"begin"`` or ``"end"``, called on the span's own thread.
+        #: Consumers (the proving service's live job-phase tracking)
+        #: must be fast and must not raise.
+        self._observers: list = []
+
+    # -- span observers ---------------------------------------------------
+
+    def add_observer(self, fn) -> None:
+        """Register ``fn(span, event)`` to be called at every span begin
+        and end (enabled tracer only; the disabled fast path never sees
+        observers)."""
+        with self._lock:
+            self._observers = self._observers + [fn]
+
+    def remove_observer(self, fn) -> None:
+        with self._lock:
+            self._observers = [f for f in self._observers if f is not fn]
+
+    def _notify(self, span: "Span", event: str) -> None:
+        for fn in self._observers:
+            try:
+                fn(span, event)
+            except Exception:  # observers must never break proving
+                pass
 
     # -- span stack (thread-local) --------------------------------------
 
@@ -280,6 +305,8 @@ class Tracer:
         if parent is not None:
             parent.children.append(span)
         stack.append(span)
+        if self._observers:
+            self._notify(span, "begin")
         return span
 
     def _end_span(self, span: Span) -> None:
@@ -294,6 +321,8 @@ class Tracer:
         if span.parent_id is None:
             with self._lock:
                 self.roots.append(span)
+        if self._observers:
+            self._notify(span, "end")
 
     def span(self, name: str, **attrs: Any) -> _SpanScope:
         """``with tracer.span("prove.quotient", k=5):`` -- pure no-op

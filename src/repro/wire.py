@@ -23,15 +23,12 @@ uniform rejection surface.
 from __future__ import annotations
 
 from repro.ecc.curve import Curve, Point
+from repro.errors import WireFormatError
 
 #: Canonical scalar encoding width (Pasta scalars are < 2^255).
 SCALAR_BYTES = 32
 
-
-class WireFormatError(ValueError):
-    """Raised when serialized proof material is malformed: bad magic,
-    inconsistent counts, non-canonical scalars, off-curve points, or
-    trailing bytes."""
+__all__ = ["ByteReader", "SCALAR_BYTES", "WireFormatError"]
 
 
 class ByteReader:

@@ -2,16 +2,16 @@
 
 These tests pin the public surface: ``PoneglyphDB.open`` drives the
 full commit -> prove -> verify -> audit workflow, ``ProverConfig``
-validates its knobs, and the historical loose-kwarg ``ProverNode``
-signature keeps working as a deprecation shim.
+validates its knobs, the typed error hierarchy routes every facade
+failure, and the retired loose-kwarg ``ProverNode`` signature fails
+fast with a ``TypeError`` naming the replacement config field.
 """
-
-import warnings
 
 import pytest
 
+import repro
 from repro import ArtifactCache, PoneglyphDB, ProverConfig, Session
-from repro import parallel
+from repro import errors, parallel
 from repro.db import ColumnDef, Database, TableSchema
 from repro.db.types import INT, STRING
 from repro.system import ProverNode, VerifierNode
@@ -152,35 +152,67 @@ class TestFacade:
                 session.audit()
 
 
-class TestLegacyShims:
-    def test_legacy_prover_node_signature_warns_and_works(
-        self, tiny_db, params_k6
-    ):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            with pytest.raises(DeprecationWarning):
-                ProverNode(
-                    tiny_db, params_k6, 6,
-                    limb_bits=4, value_bits=16, key_bits=16,
-                )
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            prover = ProverNode(
-                tiny_db, params_k6, 6,
-                limb_bits=4, value_bits=16, key_bits=16,
+class TestRetiredLegacySignature:
+    """The loose-kwarg ``ProverNode(db, params, k, ...)`` path is gone;
+    every use fails fast with a TypeError naming the config field."""
+
+    def test_positional_k_rejected_with_guidance(self, tiny_db, params_k6):
+        with pytest.raises(TypeError, match=r"ProverConfig\(.*k="):
+            ProverNode(tiny_db, params_k6, 6)
+
+    def test_legacy_kwargs_rejected_with_guidance(self, tiny_db, params_k6):
+        with pytest.raises(TypeError, match=r"limb_bits"):
+            ProverNode(
+                tiny_db, params_k6,
+                config=ProverConfig(k=6, limb_bits=4, value_bits=16,
+                                    key_bits=16),
+                limb_bits=4,
             )
-        # The legacy path never touches the artifact cache.
+
+    def test_missing_config_rejected(self, tiny_db, params_k6):
+        with pytest.raises(TypeError, match="config"):
+            ProverNode(tiny_db, params_k6)
+
+    def test_config_path_round_trips(self, tiny_db, params_k6):
+        config = ProverConfig(
+            k=6, limb_bits=4, value_bits=16, key_bits=16, use_cache=False
+        )
+        prover = ProverNode(tiny_db, params_k6, config=config)
         assert not prover.cache.enabled
         commitment = prover.publish_commitment()
         response = prover.answer("select count(*) as n from t")
         verifier = VerifierNode(params_k6, prover.public_metadata(), commitment)
         assert verifier.verify(response).accepted
 
-    def test_k_alongside_config_rejected(self, tiny_db, params_k6):
-        config = ProverConfig(k=6, limb_bits=4, value_bits=16, key_bits=16)
-        with pytest.raises(TypeError):
-            ProverNode(tiny_db, params_k6, 6, config=config)
 
-    def test_missing_k_and_config_rejected(self, tiny_db, params_k6):
-        with pytest.raises(TypeError):
-            ProverNode(tiny_db, params_k6)
+class TestErrorHierarchy:
+    """Every failure surfaced by the public API is a ReproError, while
+    staying catchable by the historical builtin types."""
+
+    def test_config_error_is_value_error(self):
+        with pytest.raises(errors.ConfigError):
+            ProverConfig(k=1)
+        assert issubclass(errors.ConfigError, ValueError)
+        assert issubclass(errors.ConfigError, errors.ReproError)
+
+    def test_state_error_before_commit(self, tiny_db, tiny_config):
+        with PoneglyphDB.open(tiny_db, tiny_config) as session:
+            with pytest.raises(errors.StateError):
+                session.verifier()
+
+    def test_wire_format_error_is_value_error(self):
+        from repro.wire import WireFormatError
+
+        assert WireFormatError is errors.WireFormatError
+        assert issubclass(WireFormatError, ValueError)
+        assert issubclass(WireFormatError, errors.ReproError)
+
+    def test_service_errors_subclass_service_error(self):
+        for exc in (errors.ServiceOverloaded, errors.ServiceClosed,
+                    errors.JobFailed, errors.JobNotFound):
+            assert issubclass(exc, errors.ServiceError)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_all_errors_reexported_at_top_level(self):
+        for name in errors.__all__:
+            assert getattr(repro, name) is getattr(errors, name)

@@ -1,0 +1,379 @@
+"""The async proving service: queue semantics, worker farm, batching.
+
+Two layers of tests:
+
+- Real-crypto end-to-end (module-scoped fixture, small k): submitted
+  jobs produce proofs **byte-identical** to the synchronous
+  ``Session.prove`` path under the same pinned blinding seed, and
+  ``batch_verify`` accepts the batch while amortizing its MSMs.
+- Scheduler-only tests with a stubbed ``ProverNode.answer``: priority
+  ordering, load shedding, crash containment, cancellation, timeouts.
+  These pin the service's concurrency behavior deterministically
+  without paying for proofs.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import PoneglyphDB, ProverConfig, ServiceConfig
+from repro.algebra.field import deterministic_rng
+from repro.db import ColumnDef, Database, TableSchema
+from repro.db.types import INT, STRING
+from repro.errors import (
+    ConfigError,
+    JobFailed,
+    JobNotFound,
+    ServiceClosed,
+    ServiceOverloaded,
+    StateError,
+)
+from repro.service import JobState, Priority, ProvingService
+from repro.system import ProverNode
+
+SQL_COUNT = "select count(*) as n from t"
+SQL_SUM = "select sum(v) as s from t where v < 40"
+SEED_COUNT = 0xC0DE
+SEED_SUM = 0xBEEF
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [ColumnDef("a", INT), ColumnDef("grp", STRING), ColumnDef("v", INT)],
+            primary_key="a",
+        ),
+        [
+            (1, "x", 10),
+            (2, "y", 20),
+            (3, "x", 30),
+            (4, "y", 40),
+            (5, "x", 50),
+        ],
+    )
+    return db
+
+
+@pytest.fixture(scope="module")
+def real_run():
+    """One committed session, two synchronous proofs with pinned
+    blinding seeds, and the same two queries proved again through a
+    2-worker service with the same seeds."""
+    config = ProverConfig(
+        k=6, limb_bits=4, value_bits=16, key_bits=16, use_cache=False,
+        telemetry=True,
+    )
+    with PoneglyphDB.open(make_db(), config) as session:
+        session.commit()
+        with deterministic_rng(SEED_COUNT):
+            sync_count = session.prove(SQL_COUNT)
+        with deterministic_rng(SEED_SUM):
+            sync_sum = session.prove(SQL_SUM)
+        with session.serve(ServiceConfig(workers=2)) as service:
+            job_count = service.submit(SQL_COUNT, rng_seed=SEED_COUNT)
+            job_sum = service.submit(SQL_SUM, rng_seed=SEED_SUM)
+            async_count = service.wait(job_count, timeout=300)
+            async_sum = service.wait(job_sum, timeout=300)
+            statuses = {
+                job_count: service.status(job_count),
+                job_sum: service.status(job_sum),
+            }
+            stats = service.stats()
+        yield {
+            "session": session,
+            "sync": {"count": sync_count, "sum": sync_sum},
+            "async": {"count": async_count, "sum": async_sum},
+            "jobs": {"count": job_count, "sum": job_sum},
+            "statuses": statuses,
+            "stats": stats,
+        }
+
+
+class TestRealService:
+    def test_submitted_proofs_byte_identical_to_sync(self, real_run):
+        for name in ("count", "sum"):
+            sync, job = real_run["sync"][name], real_run["async"][name]
+            assert job.wire_bytes() == sync.wire_bytes()
+            assert job.result == sync.result
+
+    def test_async_responses_verify(self, real_run):
+        session = real_run["session"]
+        for name in ("count", "sum"):
+            assert session.verify(real_run["async"][name]).accepted
+
+    def test_done_status_shape(self, real_run):
+        for status in real_run["statuses"].values():
+            assert status.state == JobState.DONE
+            assert status.state.finished
+            assert status.queue_position is None
+            assert status.error is None
+            assert status.worker is not None and "worker" in status.worker
+            assert status.started_at >= status.submitted_at
+            assert status.finished_at >= status.started_at
+            assert status.elapsed_seconds > 0
+
+    def test_phase_progress_recorded(self, real_run):
+        """The worker mirrors the prover's telemetry spans onto the
+        job: a finished job exposes per-phase durations."""
+        phases = [s.phases for s in real_run["statuses"].values()]
+        assert any(ph for ph in phases)  # telemetry on => phases seen
+        for ph in phases:
+            for duration in ph.values():
+                assert duration >= 0
+
+    def test_stats_counts_completions(self, real_run):
+        stats = real_run["stats"]
+        assert stats["jobs"].get("DONE") == 2
+        assert stats["shed_count"] == 0
+        assert sum(w["completed"] for w in stats["workers"].values()) == 2
+
+    def test_batch_verify_accepts_and_amortizes(self, real_run):
+        session = real_run["session"]
+        responses = [real_run["async"]["count"], real_run["async"]["sum"]]
+        report = session.batch_verify(responses)
+        assert report.accepted, report.reason
+        assert report.proofs == 2
+        assert all(rep.accepted for rep in report.reports)
+        # The per-proof base-folding MSMs were actually deferred into
+        # the shared accumulator rather than checked eagerly.
+        assert report.deferred_openings >= 2
+        assert report.finalize_seconds > 0
+        assert report.require() is report
+
+    def test_batch_verify_rejects_forged_result(self, real_run):
+        import copy
+
+        session = real_run["session"]
+        good = real_run["async"]["count"]
+        forged = copy.deepcopy(real_run["async"]["sum"])
+        forged.result_encoded[0][0] += 1
+        report = session.batch_verify([good, forged])
+        assert not report.accepted
+        assert report.reports[0].accepted
+        assert not report.reports[1].accepted
+        with pytest.raises(Exception, match="rejected indices \\[1\\]"):
+            report.require()
+
+
+# -- scheduler behavior with a stubbed prover ---------------------------------
+
+
+@pytest.fixture()
+def stub_session(monkeypatch):
+    """A committed session whose provers return fake responses
+    instantly, with an optional gate to hold the worker mid-job."""
+    gate = threading.Event()
+    order = []
+
+    def fake_answer(self, sql):
+        if sql.startswith("block"):
+            assert gate.wait(timeout=30), "test gate never released"
+        if sql.startswith("crash"):
+            raise RuntimeError("injected prover crash")
+        order.append(sql)
+        return f"response:{sql}"
+
+    monkeypatch.setattr(ProverNode, "answer", fake_answer)
+    config = ProverConfig(
+        k=6, limb_bits=4, value_bits=16, key_bits=16, use_cache=False
+    )
+    with PoneglyphDB.open(make_db(), config) as session:
+        session.commit()
+        yield session, gate, order
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestScheduling:
+    def test_status_transitions(self, stub_session):
+        session, gate, _ = stub_session
+        with session.serve(ServiceConfig(workers=1)) as service:
+            job = service.submit("block-1")
+            assert wait_for(
+                lambda: service.status(job).state == JobState.RUNNING
+            )
+            with pytest.raises(StateError):
+                service.result(job)
+            gate.set()
+            service.wait(job, timeout=10)
+            assert service.status(job).state == JobState.DONE
+
+    def test_priority_ordering(self, stub_session):
+        session, gate, order = stub_session
+        with session.serve(ServiceConfig(workers=1)) as service:
+            blocker = service.submit("block-0")
+            assert wait_for(
+                lambda: service.status(blocker).state == JobState.RUNNING
+            )
+            low = service.submit("low", priority=Priority.LOW)
+            normal = service.submit("normal", priority=Priority.NORMAL)
+            high = service.submit("high", priority=Priority.HIGH)
+            # Queued in submission order, ranked in dispatch order.
+            assert service.status(high).queue_position == 0
+            assert service.status(normal).queue_position == 1
+            assert service.status(low).queue_position == 2
+            gate.set()
+            for job in (low, normal, high):
+                service.wait(job, timeout=10)
+        assert order == ["block-0", "high", "normal", "low"]
+
+    def test_load_shedding_with_priority_reserve(self, stub_session):
+        session, gate, _ = stub_session
+        config = ServiceConfig(
+            workers=1, max_queue_depth=2, high_priority_reserve=1
+        )
+        with session.serve(config) as service:
+            blocker = service.submit("block-0")
+            assert wait_for(
+                lambda: service.status(blocker).state == JobState.RUNNING
+            )
+            service.submit("q1")  # depth 0 -> 1, NORMAL bound is 1
+            with pytest.raises(ServiceOverloaded) as exc_info:
+                service.submit("q2")
+            assert exc_info.value.queue_depth == 1
+            # HIGH may use the reserved headroom...
+            service.submit("q3", priority=Priority.HIGH)
+            # ...but respects the hard cap.
+            with pytest.raises(ServiceOverloaded):
+                service.submit("q4", priority=Priority.HIGH)
+            assert service.stats()["shed_count"] == 2
+            # A shed job leaves no residue.
+            assert service.stats()["jobs"].get("QUEUED", 0) == 2
+            gate.set()
+
+    def test_worker_crash_marks_failed_not_hang(self, stub_session):
+        session, _, _ = stub_session
+        with session.serve(ServiceConfig(workers=1)) as service:
+            bad = service.submit("crash-1")
+            with pytest.raises(JobFailed, match="injected prover crash"):
+                service.wait(bad, timeout=10)
+            assert service.status(bad).state == JobState.FAILED
+            assert "RuntimeError" in service.status(bad).error
+            # The worker survives and serves the next job.
+            good = service.submit("after-crash")
+            assert service.wait(good, timeout=10) == "response:after-crash"
+            assert service.stats()["workers"]["prover-worker-0"]["failed"] == 1
+
+    def test_malformed_sql_fails_job(self, real_run):
+        # With the real prover, a parse error surfaces as FAILED.
+        session = real_run["session"]
+        with session.serve(ServiceConfig(workers=1)) as service:
+            job = service.submit("definitely not sql")
+            with pytest.raises(JobFailed):
+                service.wait(job, timeout=30)
+            assert service.status(job).state == JobState.FAILED
+
+    def test_wait_timeout(self, stub_session):
+        session, gate, _ = stub_session
+        with session.serve(ServiceConfig(workers=1)) as service:
+            job = service.submit("block-1")
+            with pytest.raises(TimeoutError):
+                service.wait(job, timeout=0.05)
+            gate.set()
+            service.wait(job, timeout=10)
+
+    def test_close_cancels_queued_jobs(self, stub_session):
+        session, gate, _ = stub_session
+        service = session.serve(ServiceConfig(workers=1))
+        blocker = service.submit("block-0")
+        assert wait_for(
+            lambda: service.status(blocker).state == JobState.RUNNING
+        )
+        queued = service.submit("never-runs")
+        # close() drains the queue synchronously before joining the
+        # workers; release the gate slightly later so the blocked
+        # worker cannot grab "never-runs" first, then exits cleanly.
+        threading.Timer(0.3, gate.set).start()
+        service.close()
+        assert service.status(queued).state == JobState.CANCELLED
+        with pytest.raises(JobFailed, match="cancelled"):
+            service.result(queued)
+        with pytest.raises(ServiceClosed):
+            service.submit("too-late")
+        assert not any(worker.is_alive() for worker in service.workers)
+
+    def test_unknown_job_id(self, stub_session):
+        session, _, _ = stub_session
+        with session.serve(ServiceConfig(workers=1)) as service:
+            with pytest.raises(JobNotFound):
+                service.status("job-999999-deadbeef")
+
+    def test_concurrent_submitters(self, stub_session):
+        session, _, _ = stub_session
+        results = {}
+        with session.serve(ServiceConfig(workers=2)) as service:
+
+            def client(i):
+                job = service.submit(f"q{i}")
+                results[i] = service.wait(job, timeout=10)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        assert results == {i: f"response:q{i}" for i in range(8)}
+
+
+class TestServiceConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"workers": -1},
+            {"max_queue_depth": 0},
+            {"high_priority_reserve": -1},
+            {"high_priority_reserve": 64, "max_queue_depth": 64},
+            {"poll_interval": 0},
+            {"shutdown_timeout": 0},
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            ServiceConfig(**kwargs)
+
+    def test_with_options(self):
+        config = ServiceConfig(workers=2)
+        assert config.with_options(workers=4).workers == 4
+        assert config.workers == 2
+        with pytest.raises(ConfigError):
+            config.with_options(workers=0)
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_draws(self, field):
+        with deterministic_rng(7):
+            first = [field.rand() for _ in range(4)]
+        with deterministic_rng(7):
+            second = [field.rand() for _ in range(4)]
+        assert first == second
+
+    def test_thread_local_isolation(self, field):
+        """A pinned RNG on one thread must not leak into another."""
+        draws = {}
+
+        def other_thread():
+            with deterministic_rng(7):
+                draws["other"] = [field.rand() for _ in range(4)]
+
+        with deterministic_rng(7):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+            draws["main"] = [field.rand() for _ in range(4)]
+        assert draws["main"] == draws["other"]
+
+    def test_no_seed_is_nondeterministic(self, field):
+        assert field.rand() != field.rand()  # astronomically unlikely

@@ -287,8 +287,8 @@ TPCH_SQL = "select count(*) as n from nation where n_regionkey >= 2"
 
 @pytest.fixture(scope="module")
 def tpch_proven():
-    """A proved query over a small TPC-H instance, plus the verifier's
-    independently-rebuilt vk and instance vectors."""
+    """A proved query over a small TPC-H instance, plus the verifier
+    node itself and its independently-rebuilt vk / instance vectors."""
     from repro.api import PoneglyphDB
     from repro.tpch import generate
 
@@ -306,18 +306,18 @@ def tpch_proven():
             response.sql, len(response.result_encoded)
         )
         instance = compiled.instance_vectors(response.result_encoded)
-        return vk, response, instance
+        return vk, response, instance, verifier
 
 
 class TestTpchSoundness:
     def test_wire_roundtrip(self, tpch_proven):
-        vk, response, _ = tpch_proven
+        vk, response, _, _ = tpch_proven
         decoded = Proof.from_bytes(vk, response.wire_bytes())
         assert decoded == response.proof
         assert decoded.to_bytes() == response.wire_bytes()
 
     def test_sampled_byte_mutations_rejected(self, tpch_proven):
-        vk, response, instance = tpch_proven
+        vk, response, instance, _ = tpch_proven
         proof = Proof.from_bytes(vk, response.wire_bytes())
         report = run_tamper_suite(
             vk,
@@ -327,3 +327,51 @@ class TestTpchSoundness:
             stride=max(1, len(response.wire_bytes()) // 12),
         )
         assert report.accepted == [], report.summary()
+
+
+class TestBatchSoundness:
+    """``batch_verify`` must accept zero tampered proofs: deferring the
+    base-folding MSMs into a shared accumulator is an optimization, not
+    a relaxation -- a batch containing any forgery is rejected and the
+    rejection is attributed to the tampered entry."""
+
+    def _tampered_bytes(self, response, pos):
+        import copy
+
+        forged = copy.deepcopy(response)
+        flipped = bytearray(forged.proof_bytes)
+        flipped[pos % len(flipped)] ^= 0x01
+        forged.proof_bytes = bytes(flipped)
+        return forged
+
+    def test_honest_batch_accepted(self, tpch_proven):
+        _, response, _, verifier = tpch_proven
+        report = verifier.batch_verify([response, response, response])
+        assert report.accepted, report.reason
+        assert report.proofs == 3
+        assert report.deferred_openings >= 3
+
+    def test_tampered_wire_bytes_reject_batch(self, tpch_proven):
+        _, response, _, verifier = tpch_proven
+        # Flip one bit near the end of the wire encoding: the final
+        # scalars decode fine but the proof must not verify.
+        forged = self._tampered_bytes(response, len(response.proof_bytes) - 40)
+        report = verifier.batch_verify([response, forged, response])
+        assert not report.accepted
+        assert [rep.accepted for rep in report.reports] == [True, False, True]
+
+    def test_forged_result_rejects_batch_with_attribution(self, tpch_proven):
+        import copy
+
+        _, response, _, verifier = tpch_proven
+        forged = copy.deepcopy(response)
+        forged.result_encoded[0][0] += 1
+        report = verifier.batch_verify([forged, response])
+        assert not report.accepted
+        assert not report.reports[0].accepted
+        assert report.reports[1].accepted
+
+    def test_empty_batch_is_vacuously_accepted(self, tpch_proven):
+        *_, verifier = tpch_proven
+        report = verifier.batch_verify([])
+        assert report.accepted and report.proofs == 0

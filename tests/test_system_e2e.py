@@ -11,12 +11,16 @@ import pytest
 
 from repro.algebra import SCALAR_FIELD as F
 from repro.commit import setup
+from repro.config import ProverConfig
 from repro.db import ColumnDef, Database, TableSchema
 from repro.db.types import INT, STRING
 from repro.proving.recursion import Accumulator
 from repro.system import ProverNode, VerifierNode, audit
 
 K = 7
+CONFIG = ProverConfig(
+    k=K, limb_bits=4, value_bits=24, key_bits=16, use_cache=False
+)
 SQL = (
     "select a_region, sum(a_balance) as total, count(*) as cnt "
     "from accounts where a_balance >= 75 group by a_region "
@@ -46,7 +50,7 @@ def system():
         ],
     )
     params = setup(K)
-    prover = ProverNode(db, params, K, limb_bits=4, value_bits=24, key_bits=16)
+    prover = ProverNode(db, params, config=CONFIG)
     commitment = prover.publish_commitment()
     verifier = VerifierNode(params, prover.public_metadata(), commitment)
     response = prover.answer(SQL)
@@ -84,7 +88,7 @@ class TestHappyPath:
 
     def test_answer_requires_commitment(self, system):
         db, params, *_ = system
-        fresh = ProverNode(db, params, K)
+        fresh = ProverNode(db, params, config=CONFIG)
         with pytest.raises(RuntimeError):
             fresh.answer(SQL)
 
@@ -166,8 +170,7 @@ class TestRejections:
                 (5, "west", 45),
             ],
         )
-        rogue = ProverNode(other, params, K, limb_bits=4, value_bits=24,
-                           key_bits=16)
+        rogue = ProverNode(other, params, config=CONFIG)
         rogue.publish_commitment()  # its own commitment, not the published one
         response = rogue.answer(SQL)
         report = verifier.verify(response)  # against the ORIGINAL commitment
