@@ -46,7 +46,9 @@ from repro.service import (
     Priority,
     ProvingService,
 )
+from repro.proving.aggregate import AggProof, aggregate
 from repro.system import (
+    AggReport,
     BatchReport,
     ProverNode,
     QueryResponse,
@@ -69,6 +71,10 @@ __all__ = [
     "QueryResponse",
     "VerificationReport",
     "BatchReport",
+    # Proof aggregation
+    "AggProof",
+    "AggReport",
+    "aggregate",
     # Async proving service
     "ProvingService",
     "JobId",

@@ -36,9 +36,16 @@ from repro.config import ProverConfig, ServiceConfig
 from repro.db.commitment import DatabaseCommitment
 from repro.db.database import Database
 from repro.errors import StateError
-from repro.system.audit import AuditCertificate, audit
+from repro.proving.aggregate import AggProof, aggregate
+from repro.system.audit import (
+    AggregateAuditCertificate,
+    AuditCertificate,
+    audit,
+    audit_aggregate,
+)
 from repro.system.prover_node import ProverNode, QueryResponse
 from repro.system.verifier_node import (
+    AggReport,
     BatchReport,
     VerificationReport,
     VerifierNode,
@@ -164,6 +171,26 @@ class Session:
         accumulator and settled with a single combined MSM -- the
         per-proof cost drops accordingly (DESIGN.md section 5f)."""
         return self.verifier().batch_verify(responses)
+
+    def aggregate(self, responses: Sequence[QueryResponse]) -> AggProof:
+        """Fold N proved responses into one transportable aggregated
+        claim bound to this session's exact public parameters
+        (DESIGN.md section 5g)."""
+        return aggregate(responses, self.params)
+
+    def verify_aggregate(self, agg: AggProof | bytes) -> AggReport:
+        """Check an aggregated claim (``PDBA`` bytes or a decoded
+        :class:`~repro.proving.aggregate.AggProof`): every folded
+        entry's cheap checks replay, all the expensive MSMs settle in
+        one fixed-base accumulator finalize."""
+        return self.verifier().verify_aggregate(agg)
+
+    def audit_aggregate(
+        self, agg: AggProof | bytes
+    ) -> AggregateAuditCertificate:
+        """Attest an epoch's aggregated claim: one accumulator check
+        instead of replaying every proof, pinned by content digest."""
+        return audit_aggregate(self.verifier(), agg)
 
     def serve(self, config: ServiceConfig | None = None) -> "ProvingService":
         """Start an async proving service over this session.

@@ -18,6 +18,7 @@ non-interactive zero-knowledge proof, and verifies such proofs:
    proof-composition technique the paper leverages).
 """
 
+from repro.proving.aggregate import AggEntry, AggProof, ScanLinkClaim, aggregate
 from repro.proving.keygen import ProvingKey, VerifyingKey, keygen
 from repro.proving.proof import Proof
 from repro.proving.prover import create_proof
@@ -32,4 +33,8 @@ __all__ = [
     "create_proof",
     "verify_proof",
     "Accumulator",
+    "AggEntry",
+    "AggProof",
+    "ScanLinkClaim",
+    "aggregate",
 ]

@@ -15,7 +15,25 @@ total -- this is the "recursive proof composition technique reducing the
 overall proof size and computational overhead" the paper builds on.
 
 :class:`Accumulator` collects deferred claims; :meth:`Accumulator.finalize`
-performs the single combined check.
+performs the single combined check.  Lifecycle rules:
+
+- The accumulator is bound to one exact parameter set by its content
+  fingerprint (:meth:`repro.commit.params.PublicParams.fingerprint`).
+  Folding a claim reduced against *any other* parameters -- even one
+  with the same size but different generators -- would mix bases and
+  silently verify nothing, so a mismatch raises
+  :class:`~repro.errors.StateError`.
+- :meth:`finalize` **consumes** the accumulator.  The folded claims are
+  spent by the check; keeping them around would let a reused
+  accumulator re-fold stale claims (or let a failed batch re-verify
+  double-count).  After finalize, :meth:`defer_opening`,
+  :meth:`absorb`, and a second :meth:`finalize` all raise
+  :class:`~repro.errors.StateError` -- callers start a fresh
+  accumulator per batch/epoch.
+- :meth:`absorb` incrementally merges another (live) accumulator's
+  claims under a fresh random weight and consumes the source -- the
+  building block for epoch rollups that fold sub-batches as they
+  complete.
 """
 
 from __future__ import annotations
@@ -27,6 +45,7 @@ from repro.commit.params import PublicParams
 from repro.ecc import fixed_base
 from repro.ecc.curve import Point
 from repro.ecc.msm import msm
+from repro.errors import StateError
 from repro.transcript import Transcript
 
 
@@ -41,13 +60,30 @@ class Accumulator:
     def __init__(self, params: PublicParams, field: Field):
         self.params = params
         self.field = field
+        #: Content hash of the exact parameter set every folded claim
+        #: must have been reduced against.
+        self.params_fingerprint = params.fingerprint()
         self._scalars = [0] * params.n
         self._residual: Point = params.curve.identity()
         self._deferred = 0
+        self._consumed = False
 
     @property
     def deferred_count(self) -> int:
         return self._deferred
+
+    @property
+    def consumed(self) -> bool:
+        """True once :meth:`finalize` (or :meth:`absorb` by another
+        accumulator) has spent this accumulator's claims."""
+        return self._consumed
+
+    def _require_live(self, action: str) -> None:
+        if self._consumed:
+            raise StateError(
+                f"accumulator already consumed by finalize()/absorb(); "
+                f"cannot {action} -- create a fresh Accumulator per batch"
+            )
 
     def defer_opening(
         self,
@@ -62,10 +98,19 @@ class Accumulator:
         """Run the logarithmic checks now; stash the MSM claim.
 
         Returns False if the proof is structurally malformed (callers
-        treat that as an immediate verification failure).
+        treat that as an immediate verification failure).  Raises
+        :class:`~repro.errors.StateError` when ``params`` is not the
+        exact parameter set this accumulator is bound to (equal size is
+        not enough: different generators fold into the wrong bases) or
+        when the accumulator was already finalized.
         """
-        if params.n != self.params.n:
-            raise ValueError("accumulator bound to different parameters")
+        self._require_live("defer another opening")
+        if params.fingerprint() != self.params_fingerprint:
+            raise StateError(
+                "accumulator bound to different public parameters "
+                f"(fingerprint {self.params_fingerprint[:12]}..., got "
+                f"{params.fingerprint()[:12]}...)"
+            )
         reduced = reduce_opening(
             params, transcript, commitment, x, value, proof, field
         )
@@ -82,13 +127,54 @@ class Accumulator:
         self._deferred += 1
         return True
 
+    def absorb(self, other: "Accumulator") -> None:
+        """Incrementally merge ``other``'s folded claims into this
+        accumulator under a fresh random weight, consuming ``other``.
+
+        Both accumulators must be live and bound to the same parameter
+        fingerprint.  This is the epoch-rollup primitive: sub-batches
+        can be folded as they complete, and one finalize settles all of
+        them.
+        """
+        self._require_live("absorb another accumulator")
+        other._require_live("be absorbed")
+        if other.params_fingerprint != self.params_fingerprint:
+            raise StateError(
+                "cannot absorb an accumulator bound to different public "
+                "parameters"
+            )
+        rho = self.field.rand()
+        p = self.field.p
+        scalars = self._scalars
+        for i, si in enumerate(other._scalars):
+            if si:
+                scalars[i] = (scalars[i] + rho * si) % p
+        self._residual = self._residual + other._residual * rho
+        self._deferred += other._deferred
+        other._consume()
+
     def finalize(self) -> bool:
-        """Perform the single combined MSM check for all deferred claims."""
+        """Perform the single combined MSM check for all deferred
+        claims, consuming the accumulator.
+
+        The claims are spent whether the check passes or fails; any
+        further :meth:`defer_opening`, :meth:`absorb`, or
+        :meth:`finalize` raises :class:`~repro.errors.StateError`.
+        """
+        self._require_live("finalize")
         if self._deferred == 0:
+            self._consume()
             return True
         if kernels.fastpath_enabled():
             tables = fixed_base.tables_for_params(self.params)
             folded = fixed_base.fixed_base_msm(tables, self._scalars)
         else:
             folded = msm(list(self.params.g), self._scalars)
-        return (folded + self._residual).is_identity()
+        ok = (folded + self._residual).is_identity()
+        self._consume()
+        return ok
+
+    def _consume(self) -> None:
+        self._consumed = True
+        self._scalars = []
+        self._residual = self.params.curve.identity()

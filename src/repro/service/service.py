@@ -29,8 +29,9 @@ from repro.service.scheduler import ProverWorker
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api import Session
+    from repro.proving.aggregate import AggProof
     from repro.system.prover_node import QueryResponse
-    from repro.system.verifier_node import BatchReport
+    from repro.system.verifier_node import AggReport, BatchReport
 
 
 class ProvingService:
@@ -52,6 +53,8 @@ class ProvingService:
             self.config.max_queue_depth, self.config.high_priority_reserve
         )
         self._jobs: dict[JobId, Job] = {}
+        #: Jobs already folded into a previous :meth:`rollup` epoch.
+        self._rolled: set[JobId] = set()
         self._lock = threading.Lock()
         self._closed = False
         self.workers = [
@@ -158,6 +161,78 @@ class ProvingService:
         """Verify many responses with one folded accumulator check
         (delegates to the session's verifier)."""
         return self.session.verifier().batch_verify(responses)
+
+    # -- aggregation -----------------------------------------------------
+
+    def submit_aggregate(
+        self,
+        sqls: Sequence[str],
+        priority: Priority = Priority.NORMAL,
+        rng_seed: int | None = None,
+    ) -> list[JobId]:
+        """Fan a batch of queries out to the prover farm for later
+        :meth:`rollup` into one aggregated claim.
+
+        Each query becomes an independent job (they prove in parallel
+        across the workers); when ``rng_seed`` is given, job ``i`` pins
+        its blinds to ``rng_seed + i`` so the whole batch reproduces
+        byte for byte."""
+        if not sqls:
+            raise ValueError("cannot submit an empty aggregate batch")
+        return [
+            self.submit(
+                sql,
+                priority=priority,
+                rng_seed=None if rng_seed is None else rng_seed + i,
+            )
+            for i, sql in enumerate(sqls)
+        ]
+
+    def rollup(
+        self,
+        job_ids: Sequence[JobId] | None = None,
+        timeout: float | None = None,
+    ) -> "AggProof":
+        """Fold finished jobs into one transportable aggregated claim.
+
+        With ``job_ids``, waits for exactly those jobs (``timeout`` per
+        :meth:`wait`) and folds them in the given order.  Without, this
+        is the *epoch* hook: every completed job not folded by a
+        previous rollup is swept in submission order, so calling
+        ``rollup()`` at an interval partitions the service's traffic
+        into disjoint aggregated epochs.  Raises
+        :class:`~repro.errors.StateError` when there is nothing to roll
+        up, and :class:`~repro.errors.JobFailed` if a requested job
+        failed."""
+        from repro.proving.aggregate import aggregate
+
+        if job_ids is None:
+            with self._lock:
+                candidates = sorted(
+                    (
+                        job
+                        for job in self._jobs.values()
+                        if job.state == JobState.DONE
+                        and job.job_id not in self._rolled
+                    ),
+                    key=lambda job: job.seq,
+                )
+            job_ids = [job.job_id for job in candidates]
+            if not job_ids:
+                raise StateError("no completed jobs to roll up")
+        elif not job_ids:
+            raise StateError("cannot roll up an empty job list")
+        responses = [self.wait(job_id, timeout=timeout) for job_id in job_ids]
+        agg = aggregate(responses, self.session.params)
+        with self._lock:
+            self._rolled.update(job_ids)
+        telemetry.incr("service.rollups")
+        return agg
+
+    def verify_aggregate(self, agg: "AggProof | bytes") -> "AggReport":
+        """Check an aggregated claim with one accumulator finalize
+        (delegates to the session's verifier)."""
+        return self.session.verifier().verify_aggregate(agg)
 
     # -- introspection ---------------------------------------------------
 

@@ -299,6 +299,52 @@ def check_tampered_bytes(vk, data: bytes, instance: list[list[int]]) -> str:
     return "accepted" if verify_proof(vk, proof, instance) else "verify"
 
 
+def check_tampered_aggregate(verifier, data: bytes) -> str:
+    """Classify one mutated ``PDBA`` byte string against a
+    :class:`~repro.system.verifier_node.VerifierNode`: ``"decode"``
+    (rejected by the strict aggregate wire gate), ``"verify"`` (decoded
+    but rejected by fingerprint binding or the folded verification), or
+    ``"accepted"`` (a soundness failure)."""
+    from repro.proving.aggregate import AggProof
+
+    try:
+        AggProof.from_bytes(data, verifier.field)
+    except WireFormatError:
+        return "decode"
+    return "accepted" if verifier.verify_aggregate(data).accepted else "verify"
+
+
+def run_aggregate_tamper_suite(
+    verifier, agg_bytes: bytes, *, stride: int | None = None
+) -> TamperReport:
+    """Byte-level tamper sweep over an aggregated claim's ``PDBA``
+    wire bytes (the aggregate is an *envelope* of proof claims, so
+    field-level proof mutations are covered by :func:`run_tamper_suite`
+    on the inner proofs; the new surface here is the envelope itself:
+    fingerprint, counts, results, scan links, and entry framing).
+
+    The honest bytes must accept first; then every mutation class
+    (bit-flip / truncate / extend / swap / duplicate) must be rejected
+    at decode or verify.  Acceptance criterion: ``report.accepted ==
+    []``.
+    """
+    t0 = time.perf_counter()
+    report = TamperReport()
+    if check_tampered_aggregate(verifier, agg_bytes) != "accepted":
+        raise AssertionError("honest aggregate failed its own round-trip")
+    for label, mutated in byte_mutations(agg_bytes, stride):
+        outcome = check_tampered_aggregate(verifier, mutated)
+        report.total += 1
+        if outcome == "decode":
+            report.rejected_decode += 1
+        elif outcome == "verify":
+            report.rejected_verify += 1
+        else:
+            report.accepted.append(f"agg-bytes:{label}")
+    report.elapsed_seconds = time.perf_counter() - t0
+    return report
+
+
 def run_tamper_suite(
     vk,
     proof: Proof,

@@ -14,19 +14,27 @@
 from repro.system.metadata import PublicMetadata, shell_database
 from repro.system.prover_node import ProverNode, QueryResponse
 from repro.system.verifier_node import (
+    AggReport,
     BatchReport,
     VerificationReport,
     VerifierNode,
 )
-from repro.system.audit import audit
+from repro.system.audit import (
+    AggregateAuditCertificate,
+    audit,
+    audit_aggregate,
+)
 
 __all__ = [
     "PublicMetadata",
     "shell_database",
     "ProverNode",
     "QueryResponse",
+    "AggReport",
     "BatchReport",
     "VerificationReport",
     "VerifierNode",
+    "AggregateAuditCertificate",
     "audit",
+    "audit_aggregate",
 ]

@@ -10,6 +10,7 @@ proof links to.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro import telemetry
 from repro.commit.params import PublicParams
@@ -21,6 +22,10 @@ from repro.db.commitment import (
 from repro.db.database import Database
 from repro.wire import WireFormatError
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.proving.aggregate import AggProof
+    from repro.system.verifier_node import VerifierNode
+
 
 @dataclass
 class AuditCertificate:
@@ -30,6 +35,76 @@ class AuditCertificate:
     valid: bool
     detail: str = ""
     elapsed_seconds: float = 0.0
+
+
+@dataclass
+class AggregateAuditCertificate:
+    """The auditor's attestation over one epoch's aggregated claim.
+
+    ``digest`` pins the canonical ``PDBA`` wire bytes (what an audit log
+    or blockchain entry stores); ``proofs`` is how many query proofs the
+    attested aggregate folds."""
+
+    digest: bytes
+    proofs: int
+    valid: bool
+    detail: str = ""
+    elapsed_seconds: float = 0.0
+
+
+def audit_aggregate(
+    verifier: "VerifierNode", agg: "AggProof | bytes"
+) -> AggregateAuditCertificate:
+    """Attest an aggregated claim by checking **one** accumulator.
+
+    Instead of replaying every query proof independently, the auditor
+    round-trips the aggregate through its canonical ``PDBA`` wire bytes
+    (the attestation must cover exactly what decodes), runs
+    :meth:`~repro.system.verifier_node.VerifierNode.verify_aggregate` --
+    all deferred MSMs settle in a single fixed-base finalize -- and pins
+    the content digest of those bytes.  Anyone holding the certificate
+    can later match an audit-log entry against the digest without
+    re-verifying."""
+    span = telemetry.begin_span("audit_aggregate")
+    try:
+        cert = _audit_aggregate_inner(verifier, agg)
+    except BaseException:
+        span.end(status="error")
+        raise
+    span.set(valid=cert.valid, proofs=cert.proofs).end()
+    cert.elapsed_seconds = span.duration
+    return cert
+
+
+def _audit_aggregate_inner(
+    verifier: "VerifierNode", agg: "AggProof | bytes"
+) -> AggregateAuditCertificate:
+    import hashlib
+
+    from repro.proving.aggregate import AggProof
+
+    if isinstance(agg, (bytes, bytearray, memoryview)):
+        data = bytes(agg)
+    else:
+        try:
+            data = agg.to_bytes()
+        except ValueError as exc:
+            return AggregateAuditCertificate(
+                b"", 0, False, f"aggregate not serializable: {exc}"
+            )
+    digest = hashlib.blake2b(data, digest_size=20).digest()
+    try:
+        decoded = AggProof.from_bytes(data, verifier.field)
+    except WireFormatError as exc:
+        return AggregateAuditCertificate(
+            digest, 0, False, f"aggregate decode failed: {exc}"
+        )
+    report = verifier.verify_aggregate(decoded)
+    if not report.accepted:
+        return AggregateAuditCertificate(
+            digest, decoded.proofs, False, report.reason
+        )
+    return AggregateAuditCertificate(digest, decoded.proofs, True)
 
 
 def audit(

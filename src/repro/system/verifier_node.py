@@ -18,7 +18,7 @@ Workflow (paper Figure 2, phase 5) plus the binding checks:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence, TypeVar
 
 from repro import telemetry
 
@@ -27,6 +27,7 @@ from repro.commit.params import PublicParams
 from repro.db.commitment import DatabaseCommitment
 from repro.errors import VerificationFailure
 from repro.plonkish.assignment import Assignment
+from repro.proving.aggregate import AggProof
 from repro.proving.keygen import finalize_fixed, keygen
 from repro.proving.proof import Proof
 from repro.proving.recursion import Accumulator
@@ -38,9 +39,12 @@ from repro.sql.planner import Planner
 from repro.system.metadata import PublicMetadata, shell_database
 from repro.system.prover_node import QueryResponse
 
-#: Rebuilt verifying keys memoized per (sql, result_rows); bounded so a
-#: hostile query stream cannot grow the verifier without limit.
+#: Rebuilt verifying keys memoized per (sql, result_rows, params
+#: fingerprint); bounded so a hostile query stream cannot grow the
+#: verifier without limit.
 _VK_CACHE_MAX = 32
+
+_Item = TypeVar("_Item")
 
 
 @dataclass
@@ -109,6 +113,15 @@ class BatchReport:
         return self
 
 
+@dataclass
+class AggReport(BatchReport):
+    """The outcome of :meth:`VerifierNode.verify_aggregate`: a
+    :class:`BatchReport` over the aggregate's folded entries, plus the
+    wire size of the aggregated claim that was checked."""
+
+    aggregate_size_bytes: int = 0
+
+
 class VerifierNode:
     """A client / verifier V holding only public information."""
 
@@ -127,7 +140,7 @@ class VerifierNode:
         self.field = field_
         self._shell = shell_database(metadata)
         self._planner = Planner(self._shell)
-        self._vk_cache: dict[tuple[str, int], tuple] = {}
+        self._vk_cache: dict[tuple[str, int, str], tuple] = {}
 
     def rebuild_verifying_key(self, sql: str, result_rows: int):
         """Recompile ``sql`` from public metadata and regenerate the
@@ -135,12 +148,16 @@ class VerifierNode:
 
         Returns ``(compiled, vk)``.  Raises on malformed queries.
 
-        Rebuilds are memoized per ``(sql, result_rows)``: keygen is a
-        pure function of public data, so a verifier checking many
-        proofs of the same query shape (the batch-verification
-        workload) pays compilation + keygen once.
+        Rebuilds are memoized per ``(sql, result_rows, params
+        fingerprint)``: keygen is a pure function of public data, so a
+        verifier checking many proofs of the same query shape (the
+        batch-verification workload) pays compilation + keygen once.
+        The fingerprint is part of the key because keygen commits the
+        fixed columns under the *current* parameters -- a verifier
+        whose parameters change across sessions must never serve a vk
+        compiled for the old generators.
         """
-        memo_key = (sql, result_rows)
+        memo_key = (sql, result_rows, self.params.fingerprint())
         cached = self._vk_cache.get(memo_key)
         if cached is not None:
             telemetry.incr("verify.vk_cache_hits")
@@ -171,9 +188,27 @@ class VerifierNode:
         """Check a query response.  The whole check runs under a timed
         ``verify`` telemetry span, which is also the single source of the
         report's ``elapsed_seconds`` (no local clock arithmetic)."""
-        span = telemetry.begin_span("verify", sql=response.sql)
+        return self._verify_timed(
+            response.sql,
+            response.result_encoded,
+            response.scan_links,
+            response.wire_bytes(),
+            accumulator,
+        )
+
+    def _verify_timed(
+        self,
+        sql: str,
+        result_encoded: list[list[int]],
+        scan_links: Sequence,
+        wire: bytes,
+        accumulator: Accumulator | None,
+    ) -> VerificationReport:
+        span = telemetry.begin_span("verify", sql=sql)
         try:
-            report = self._verify_inner(response, accumulator)
+            report = self._verify_claim(
+                sql, result_encoded, scan_links, wire, accumulator
+            )
         except BaseException:
             span.end(status="error")
             raise
@@ -181,31 +216,38 @@ class VerifierNode:
         report.elapsed_seconds = span.duration
         return report
 
-    def _verify_inner(
+    def _verify_claim(
         self,
-        response: QueryResponse,
+        sql: str,
+        result_encoded: list[list[int]],
+        scan_links: Sequence,
+        wire: bytes,
         accumulator: Accumulator | None,
     ) -> VerificationReport:
+        """The per-claim verification core, shared by :meth:`verify`
+        (claims arrive inside a :class:`QueryResponse`) and
+        :meth:`verify_aggregate` (claims arrive as decoded ``PDBA``
+        entries).  ``scan_links`` is any sequence of objects with
+        ``advice_index`` / ``table`` / ``column`` / ``delta``."""
         try:
             with telemetry.span("verify.rebuild_vk"):
                 compiled, vk = self.rebuild_verifying_key(
-                    response.sql, len(response.result_encoded)
+                    sql, len(result_encoded)
                 )
         except Exception as exc:  # malformed query == reject
             return VerificationReport(False, f"recompilation failed: {exc}")
 
         # Structural cross-checks before any crypto.
-        if len(compiled.scan_links) != len(response.scan_links):
+        if len(compiled.scan_links) != len(scan_links):
             return VerificationReport(False, "scan link count mismatch")
         if compiled.limit is not None and len(
-            response.result_encoded
+            result_encoded
         ) > compiled.limit:
             return VerificationReport(False, "result exceeds LIMIT")
-        if len(response.result_encoded) > compiled.usable_rows:
+        if len(result_encoded) > compiled.usable_rows:
             return VerificationReport(False, "result exceeds circuit capacity")
 
         # Decode the proof from wire bytes -- the only trusted source.
-        wire = response.wire_bytes()
         try:
             proof = Proof.from_bytes(vk, wire)
         except WireFormatError as exc:
@@ -219,7 +261,7 @@ class VerifierNode:
         expected_links = {
             (l.advice_index, l.table, l.column) for l in compiled.scan_links
         }
-        for link in response.scan_links:
+        for link in scan_links:
             if (link.advice_index, link.table, link.column) not in expected_links:
                 return VerificationReport(False, "unexpected scan link")
             if link.advice_index >= len(proof.advice_commitments):
@@ -237,7 +279,7 @@ class VerifierNode:
                     "proof was not computed over the committed database",
                 )
 
-        instance = compiled.instance_vectors(response.result_encoded)
+        instance = compiled.instance_vectors(result_encoded)
         with telemetry.span("verify.proof"):
             ok = verify_proof(vk, proof, instance, accumulator)
         if not ok:
@@ -245,6 +287,44 @@ class VerifierNode:
                 False, "proof rejected", proof_size_bytes=len(wire)
             )
         return VerificationReport(True, proof_size_bytes=len(wire))
+
+    def _amortized_verify(
+        self,
+        items: Sequence[_Item],
+        verify_item: Callable[
+            [_Item, Accumulator | None], VerificationReport
+        ],
+    ) -> tuple[bool, list[VerificationReport], str, float, int]:
+        """The shared deferred-MSM engine behind :meth:`batch_verify`
+        and :meth:`verify_aggregate`.
+
+        Runs every item's full cheap pipeline against one fresh
+        recursion accumulator, settles all deferred base-folding MSMs
+        with a single finalize, and -- because a failed fold cannot say
+        *which* claim broke -- re-verifies provisionally-accepted items
+        eagerly to attribute the failure.  The accumulator is consumed
+        by its finalize either way (fresh one per call), so stale
+        claims can never leak into a later batch.
+
+        Returns ``(accepted, reports, reason, finalize_seconds,
+        deferred_openings)``.
+        """
+        accumulator = Accumulator(self.params, self.field)
+        reports = [verify_item(item, accumulator) for item in items]
+        deferred = accumulator.deferred_count
+        finalize_sw = telemetry.stopwatch().start()
+        folded_ok = accumulator.finalize()
+        finalize_seconds = finalize_sw.end()
+        reason = ""
+        if not folded_ok:
+            reason = "batch accumulator check failed"
+            for i, item in enumerate(items):
+                if reports[i].accepted:
+                    reports[i] = verify_item(item, None)
+        if not all(rep.accepted for rep in reports):
+            reason = reason or "proof(s) rejected"
+        accepted = folded_ok and all(rep.accepted for rep in reports)
+        return accepted, reports, reason, finalize_seconds, deferred
 
     def batch_verify(
         self, responses: Sequence[QueryResponse]
@@ -270,27 +350,14 @@ class VerifierNode:
         """
         span = telemetry.begin_span("batch_verify", proofs=len(responses))
         try:
-            accumulator = Accumulator(self.params, self.field)
-            reports = [
-                self.verify(response, accumulator=accumulator)
-                for response in responses
-            ]
-            deferred = accumulator.deferred_count
-            finalize_sw = telemetry.stopwatch().start()
-            folded_ok = accumulator.finalize()
-            finalize_seconds = finalize_sw.end()
-            reason = ""
-            if not folded_ok:
-                # Attribute: the batch check cannot say *which* claim
-                # broke, so fall back to eager per-proof verification
-                # for everything that provisionally passed.
-                reason = "batch accumulator check failed"
-                for i, response in enumerate(responses):
-                    if reports[i].accepted:
-                        reports[i] = self.verify(response)
-            if not all(rep.accepted for rep in reports):
-                reason = reason or "proof(s) rejected"
-            accepted = folded_ok and all(rep.accepted for rep in reports)
+            accepted, reports, reason, finalize_seconds, deferred = (
+                self._amortized_verify(
+                    responses,
+                    lambda response, acc: self.verify(
+                        response, accumulator=acc
+                    ),
+                )
+            )
         except BaseException:
             span.end(status="error")
             raise
@@ -302,4 +369,73 @@ class VerifierNode:
             elapsed_seconds=span.duration,
             finalize_seconds=finalize_seconds,
             deferred_openings=deferred,
+        )
+
+    def verify_aggregate(self, agg: "AggProof | bytes") -> AggReport:
+        """Check an aggregated claim (``PDBA`` wire bytes or a decoded
+        :class:`~repro.proving.aggregate.AggProof`) with one final MSM.
+
+        The aggregate must be bound to this verifier's exact public
+        parameters (content fingerprint, not just size).  Every folded
+        entry replays its cheap checks -- strict proof decode, scan
+        links against the database commitment, the constraint identity,
+        the logarithmic IPA rounds -- while all the linear-time
+        base-folding MSMs collapse into a single fixed-base
+        accumulator finalize.  On a failed fold, entries are re-verified
+        eagerly so the report attributes the failure to the tampered
+        entry (or entries) instead of condemning the batch blindly.
+        """
+        span = telemetry.begin_span("verify_aggregate")
+        try:
+            report = self._verify_aggregate_inner(agg)
+        except BaseException:
+            span.end(status="error")
+            raise
+        span.set(accepted=report.accepted, proofs=report.proofs).end()
+        report.elapsed_seconds = span.duration
+        return report
+
+    def _verify_aggregate_inner(self, agg: "AggProof | bytes") -> AggReport:
+        if isinstance(agg, (bytes, bytearray, memoryview)):
+            data = bytes(agg)
+            size = len(data)
+            try:
+                agg = AggProof.from_bytes(data, self.field)
+            except WireFormatError as exc:
+                return AggReport(
+                    accepted=False,
+                    reason=f"aggregate decode failed: {exc}",
+                    aggregate_size_bytes=size,
+                )
+        else:
+            size = agg.size_bytes()
+        if agg.params_fingerprint != bytes.fromhex(self.params.fingerprint()):
+            return AggReport(
+                accepted=False,
+                reason=(
+                    "aggregate bound to different public parameters "
+                    f"(expected fingerprint {self.params.fingerprint()}, "
+                    f"got {agg.params_fingerprint.hex()})"
+                ),
+                aggregate_size_bytes=size,
+            )
+        accepted, reports, reason, finalize_seconds, deferred = (
+            self._amortized_verify(
+                agg.entries,
+                lambda entry, acc: self._verify_timed(
+                    entry.sql,
+                    entry.result_encoded,
+                    entry.scan_links,
+                    entry.proof_bytes,
+                    acc,
+                ),
+            )
+        )
+        return AggReport(
+            accepted=accepted,
+            reports=reports,
+            reason=reason,
+            finalize_seconds=finalize_seconds,
+            deferred_openings=deferred,
+            aggregate_size_bytes=size,
         )

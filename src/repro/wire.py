@@ -79,6 +79,27 @@ class ByteReader:
             )
         return value
 
+    def blob(self, what: str, *, max_len: int) -> bytes:
+        """Read a u32 length-prefixed byte string; reject lengths above
+        ``max_len`` (hostile-allocation bound) before taking the bytes
+        (which itself rejects lengths past the remaining data)."""
+        n = self.u32(f"{what} length")
+        if n > max_len:
+            raise WireFormatError(
+                f"{what} length {n} exceeds bound {max_len}"
+            )
+        return self.take(n, what)
+
+    def string(self, what: str, *, max_len: int) -> str:
+        """Read a u32 length-prefixed UTF-8 string (strictly decoded:
+        invalid UTF-8 is a wire error, and valid UTF-8 re-encodes to the
+        same bytes, so every string has one canonical encoding)."""
+        raw = self.blob(what, max_len=max_len)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"invalid UTF-8 in {what}: {exc}") from None
+
     def scalar(self, modulus: int, what: str) -> int:
         value = int.from_bytes(self.take(SCALAR_BYTES, what), "little")
         if value >= modulus:

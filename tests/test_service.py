@@ -158,6 +158,62 @@ class TestRealService:
             report.require()
 
 
+class TestRollup:
+    """``submit_aggregate`` fans a batch out to the prover farm;
+    ``rollup`` folds finished jobs into one transportable ``AggProof``
+    epoch, verified with a single accumulator finalize."""
+
+    @pytest.fixture(scope="class")
+    def rollup_run(self, real_run):
+        session = real_run["session"]
+        with session.serve(ServiceConfig(workers=2)) as service:
+            # rng_seed such that job 1's derived seed (rng_seed + 1)
+            # matches the synchronous SUM proof -- pins the per-job
+            # seed derivation, not just the fan-out.
+            jobs = service.submit_aggregate(
+                [SQL_COUNT, SQL_SUM], rng_seed=SEED_SUM - 1
+            )
+            agg = service.rollup(jobs, timeout=300)
+            report = service.verify_aggregate(agg.to_bytes())
+            yield service, jobs, agg, report
+
+    def test_rollup_folds_all_jobs_in_order(self, rollup_run):
+        _, jobs, agg, _ = rollup_run
+        assert len(jobs) == 2
+        assert agg.proofs == 2
+        assert [entry.sql for entry in agg.entries] == [SQL_COUNT, SQL_SUM]
+
+    def test_rollup_verifies_with_one_finalize(self, rollup_run):
+        *_, report = rollup_run
+        assert report.accepted, report.reason
+        assert report.deferred_openings >= 2
+
+    def test_derived_seeds_reproduce_sync_proofs(self, rollup_run, real_run):
+        _, _, agg, _ = rollup_run
+        sync_sum = real_run["sync"]["sum"]
+        assert agg.entries[1].proof_bytes == sync_sum.wire_bytes()
+
+    def test_epoch_rollup_sweeps_only_new_jobs(self, rollup_run):
+        service, *_ = rollup_run
+        # Everything proved so far is already folded into epoch 1.
+        with pytest.raises(StateError, match="no completed jobs"):
+            service.rollup()
+        job = service.submit(SQL_COUNT, rng_seed=SEED_COUNT)
+        service.wait(job, timeout=300)
+        epoch2 = service.rollup()
+        assert epoch2.proofs == 1
+        assert service.verify_aggregate(epoch2.to_bytes()).accepted
+        with pytest.raises(StateError, match="no completed jobs"):
+            service.rollup()
+
+    def test_empty_submissions_rejected(self, rollup_run):
+        service, *_ = rollup_run
+        with pytest.raises(ValueError, match="empty aggregate batch"):
+            service.submit_aggregate([])
+        with pytest.raises(StateError, match="empty job list"):
+            service.rollup([])
+
+
 # -- scheduler behavior with a stubbed prover ---------------------------------
 
 

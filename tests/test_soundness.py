@@ -22,8 +22,10 @@ from repro.proving.proof import Proof, WIRE_MAGIC
 from repro.soundness import (
     ProverFaults,
     byte_mutations,
+    check_tampered_aggregate,
     check_tampered_bytes,
     field_mutators,
+    run_aggregate_tamper_suite,
     run_tamper_suite,
 )
 from repro.wire import WireFormatError
@@ -375,3 +377,52 @@ class TestBatchSoundness:
         *_, verifier = tpch_proven
         report = verifier.batch_verify([])
         assert report.accepted and report.proofs == 0
+
+
+class TestAggregateSoundness:
+    """The ``PDBA`` aggregate envelope must accept zero tampered
+    mutations, mirroring :class:`TestBatchSoundness`: the transportable
+    aggregated claim is an optimization over per-proof verification,
+    not a relaxation."""
+
+    @pytest.fixture(scope="class")
+    def tpch_aggregate(self, tpch_proven):
+        from repro.proving.aggregate import aggregate
+
+        _, response, _, verifier = tpch_proven
+        agg = aggregate([response, response], verifier.params)
+        return verifier, agg, agg.to_bytes()
+
+    def test_honest_aggregate_accepted(self, tpch_aggregate):
+        verifier, _, data = tpch_aggregate
+        assert check_tampered_aggregate(verifier, data) == "accepted"
+        report = verifier.verify_aggregate(data)
+        assert report.accepted and report.proofs == 2
+
+    def test_sampled_byte_mutations_rejected(self, tpch_aggregate):
+        verifier, _, data = tpch_aggregate
+        report = run_aggregate_tamper_suite(
+            verifier, data, stride=max(1, len(data) // 6)
+        )
+        assert report.accepted == [], report.summary()
+        # Both rejection surfaces were actually exercised: the strict
+        # wire gate and the cryptographic fold.
+        assert report.rejected_decode > 0
+        assert report.rejected_verify > 0
+
+    def test_one_tampered_proof_inside_batch_attributed(
+        self, tpch_proven, tpch_aggregate
+    ):
+        import copy
+
+        from repro.proving.aggregate import aggregate
+
+        _, response, _, verifier = tpch_proven
+        forged = copy.deepcopy(response)
+        flipped = bytearray(forged.proof_bytes)
+        flipped[len(flipped) - 40] ^= 0x01
+        forged.proof_bytes = bytes(flipped)
+        agg = aggregate([response, forged, response], verifier.params)
+        report = verifier.verify_aggregate(agg.to_bytes())
+        assert not report.accepted
+        assert [rep.accepted for rep in report.reports] == [True, False, True]
