@@ -176,6 +176,21 @@ def main(argv: list[str] | None = None) -> int:
             print(f"CHECK FAILED: {failure}", file=sys.stderr)
         return 1
     if args.check:
+        from repro.bench import trend
+
+        gate = max(n for n in sizes if n <= 8)
+        gated = next(r for r in result["batches"] if r["batch"] == gate)
+        regressions = trend.track(
+            "aggregate",
+            {
+                "sequential_per_proof_s": result["sequential_per_proof_s"],
+                f"batch{gate}_per_proof_s": gated["per_proof_s"],
+                f"batch{gate}_speedup": gated["speedup_vs_sequential"],
+            },
+            directions={f"batch{gate}_speedup": "higher"},
+        )
+        if trend.report_regressions(regressions):
+            return 1
         best = result["batches"][-1]
         print(
             f"CHECK OK: aggregated verification {best['speedup_vs_sequential']:.2f}x "

@@ -247,6 +247,20 @@ def main(argv: list[str] | None = None) -> int:
         e2e=not args.skip_e2e,
         check=args.check,
     )
+    if args.check and results["check_ok"]:
+        # Only the CLI path feeds the regression history -- the pytest
+        # smoke entry runs at a different size and would skew medians.
+        from repro.bench import trend
+
+        metrics = {
+            f"msm_{r['points']}_fast_s": r["fast_s"] for r in results["msm"]
+        }
+        metrics["fixed_base_fast_s"] = results["fixed_base"]["fast_s"]
+        metrics["fft_cached_s"] = results["fft"]["cached_s"]
+        if "e2e_q1" in results:
+            metrics["e2e_q1_fast_s"] = results["e2e_q1"]["fast_s"]
+        if trend.report_regressions(trend.track("kernels", metrics)):
+            return 1
     return 0 if results["check_ok"] else 1
 
 

@@ -28,6 +28,7 @@ from repro.bench.harness import (
     tpch_db,
 )
 from repro.bench.reporting import Report
+from repro.bench import trend
 from repro.config import ServiceConfig
 
 #: Small enough to prove N times in a smoke job, real enough to carry
@@ -140,6 +141,19 @@ def main(argv: list[str] | None = None) -> int:
         print("CHECK FAILED: a proof was rejected", file=sys.stderr)
         return 1
     if args.check:
+        regressions = trend.track(
+            "service",
+            {
+                "wall_seconds": result["wall_seconds"],
+                "proofs_per_min": result["proofs_per_min"],
+                "sequential_per_proof_s": result["sequential_per_proof_s"],
+                "batch_per_proof_s": result["batch_per_proof_s"],
+                "amortization": result["amortization"],
+            },
+            directions={"proofs_per_min": "higher", "amortization": "higher"},
+        )
+        if trend.report_regressions(regressions):
+            return 1
         if result["batch_per_proof_s"] >= result["sequential_per_proof_s"]:
             print(
                 "CHECK FAILED: batched verification "

@@ -50,6 +50,7 @@ def fft_in_place(values: list[int], omega: int, p: int) -> None:
         raise ValueError("fft size must be a power of two")
     telemetry.incr("fft.calls")
     telemetry.incr("fft.points", n)
+    telemetry.observe("fft.points_per_call", n)
     if kernels.fastpath_enabled():
         fft_plan.ntt_in_place(values, fft_plan.plan_for(n, omega, p))
         return

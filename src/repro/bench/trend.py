@@ -1,0 +1,335 @@
+"""The bench-regression tracker.
+
+Every ``bench_*.py --check`` run appends its headline metrics to
+``benchmarks/results/history.jsonl`` -- one JSON line per run, keyed
+by bench name and git SHA -- and then compares the fresh numbers
+against the **rolling median** of that bench's recent history.  A
+metric that moves more than :data:`DEFAULT_THRESHOLD` (15%) in the bad
+direction is flagged as a :class:`Regression`, and the CI smoke jobs
+gate on the result: a PR that silently makes proving 20% slower fails
+the bench check even though every correctness test still passes.
+
+The median (not the previous run) is the baseline, so one noisy CI
+machine does not poison the gate; a metric needs
+:data:`MIN_SAMPLES` prior runs before it can flag at all.  Metrics are
+lower-is-better by default (they are almost all seconds); pass
+``directions={"proofs_per_min": "higher"}`` for throughput-style
+numbers.
+
+CLI::
+
+    python -m repro.bench.trend                 # summarize history
+    python -m repro.bench.trend selftest        # exercise the tracker
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.bench.reporting import RESULTS_DIR
+
+#: Default history file next to the persisted bench reports.
+HISTORY_PATH = RESULTS_DIR / "history.jsonl"
+
+#: Fractional move against the rolling median that counts as a
+#: regression (the ISSUE/CI gate: >15%).
+DEFAULT_THRESHOLD = 0.15
+
+#: How many of the bench's most recent prior runs form the baseline.
+DEFAULT_WINDOW = 8
+
+#: A metric with fewer prior samples than this never flags -- a brand
+#: new bench (or metric) needs a history before it can regress.
+MIN_SAMPLES = 3
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved >threshold in the bad direction."""
+
+    bench: str
+    metric: str
+    value: float
+    baseline: float
+    ratio: float  #: value / baseline (bad direction normalized to > 1)
+    direction: str  #: "lower" or "higher" (which way is better)
+
+    def describe(self) -> str:
+        worse = (self.ratio - 1.0) * 100.0
+        return (
+            f"{self.bench}.{self.metric}: {self.value:.6g} vs rolling "
+            f"median {self.baseline:.6g} ({worse:+.1f}% worse; "
+            f"{self.direction} is better)"
+        )
+
+
+# -- history file -------------------------------------------------------------
+
+
+def load_history(
+    path: str | os.PathLike[str] | None = None,
+) -> list[dict[str, Any]]:
+    """All parsable history entries, oldest first.  Malformed lines
+    (a killed CI job mid-write) are skipped, never fatal."""
+    target = pathlib.Path(path) if path is not None else HISTORY_PATH
+    if not target.exists():
+        return []
+    entries: list[dict[str, Any]] = []
+    for line in target.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and isinstance(record.get("metrics"), dict):
+            entries.append(record)
+    return entries
+
+
+def append_entry(
+    bench: str,
+    metrics: Mapping[str, float],
+    path: str | os.PathLike[str] | None = None,
+    git_sha: str | None = None,
+) -> dict[str, Any]:
+    """Append one run's metrics to the history; returns the record."""
+    from repro.bench.harness import git_revision
+
+    target = pathlib.Path(path) if path is not None else HISTORY_PATH
+    record = {
+        "bench": str(bench),
+        "git_sha": git_sha if git_sha is not None else git_revision(),
+        "ts": time.time(),
+        "metrics": {
+            key: float(value)
+            for key, value in metrics.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        },
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+# -- the check ----------------------------------------------------------------
+
+
+def check_metrics(
+    bench: str,
+    metrics: Mapping[str, float],
+    history: Iterable[Mapping[str, Any]],
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+    directions: Mapping[str, str] | None = None,
+) -> list[Regression]:
+    """Compare ``metrics`` against the rolling median of ``bench``'s
+    recent history; returns the flagged regressions (empty = clean).
+
+    ``directions`` overrides the lower-is-better default per metric
+    (``"higher"`` for throughput/speedup numbers).
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    directions = dict(directions or {})
+    prior = [entry for entry in history if entry.get("bench") == bench]
+    regressions: list[Regression] = []
+    for name in sorted(metrics):
+        value = metrics[name]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        samples = [
+            float(entry["metrics"][name])
+            for entry in prior[-window:]
+            if isinstance(entry.get("metrics"), dict)
+            and isinstance(entry["metrics"].get(name), (int, float))
+        ]
+        if len(samples) < MIN_SAMPLES:
+            continue
+        baseline = statistics.median(samples)
+        if baseline <= 0:
+            continue
+        direction = directions.get(name, "lower")
+        if direction not in ("lower", "higher"):
+            raise ValueError(
+                f"direction for {name!r} must be 'lower' or 'higher', "
+                f"got {direction!r}"
+            )
+        if direction == "lower":
+            ratio = float(value) / baseline
+        else:
+            ratio = baseline / float(value) if value > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                Regression(
+                    bench=bench,
+                    metric=name,
+                    value=float(value),
+                    baseline=baseline,
+                    ratio=ratio,
+                    direction=direction,
+                )
+            )
+    return regressions
+
+
+def track(
+    bench: str,
+    metrics: Mapping[str, float],
+    path: str | os.PathLike[str] | None = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+    directions: Mapping[str, str] | None = None,
+    git_sha: str | None = None,
+) -> list[Regression]:
+    """The one-call bench hook: check ``metrics`` against the history's
+    rolling median, *then* append this run, returning any regressions.
+
+    The append happens regardless of the verdict -- a regressed run is
+    still a data point, and the median baseline means one bad run does
+    not drag the gate for later runs.
+    """
+    regressions = check_metrics(
+        bench,
+        metrics,
+        load_history(path),
+        threshold=threshold,
+        window=window,
+        directions=directions,
+    )
+    append_entry(bench, metrics, path=path, git_sha=git_sha)
+    return regressions
+
+
+def report_regressions(
+    regressions: list[Regression], stream: Any = None
+) -> bool:
+    """Print one ``TREND REGRESSION`` line per finding (to stderr by
+    default); returns ``True`` when anything was flagged."""
+    out = stream if stream is not None else sys.stderr
+    for regression in regressions:
+        print(f"TREND REGRESSION: {regression.describe()}", file=out)
+    return bool(regressions)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _summarize(path: str | os.PathLike[str] | None) -> int:
+    history = load_history(path)
+    if not history:
+        print("no bench history recorded yet")
+        return 0
+    by_bench: dict[str, list[dict[str, Any]]] = {}
+    for entry in history:
+        by_bench.setdefault(str(entry.get("bench")), []).append(entry)
+    for bench in sorted(by_bench):
+        entries = by_bench[bench]
+        latest = entries[-1]
+        sha = str(latest.get("git_sha", "unknown"))[:12]
+        print(f"{bench}: {len(entries)} runs, latest @ {sha}")
+        for name in sorted(latest["metrics"]):
+            samples = [
+                float(e["metrics"][name])
+                for e in entries[-DEFAULT_WINDOW:]
+                if isinstance(e["metrics"].get(name), (int, float))
+            ]
+            median = statistics.median(samples)
+            print(
+                f"  {name}: latest {latest['metrics'][name]:.6g} "
+                f"(rolling median {median:.6g} over {len(samples)})"
+            )
+    return 0
+
+
+def selftest() -> int:
+    """Exercise the tracker end to end against a throwaway history:
+    a stable baseline must pass, a synthetic +20% (and an exact +15%
+    boundary is NOT flagged; strictly greater is), and a
+    higher-is-better metric flags on a drop.  Exit 0 on success."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "history.jsonl")
+        for value in (1.00, 1.02, 0.98, 1.01):
+            append_entry(
+                "selftest",
+                {"prove_s": value, "proofs_per_min": 60.0 / value},
+                path=path,
+                git_sha="baseline",
+            )
+        clean = check_metrics(
+            "selftest",
+            {"prove_s": 1.05, "proofs_per_min": 57.0},
+            load_history(path),
+            directions={"proofs_per_min": "higher"},
+        )
+        if clean:
+            print(
+                f"selftest FAILED: in-band run flagged: {clean}",
+                file=sys.stderr,
+            )
+            return 1
+        flagged = track(
+            "selftest",
+            {"prove_s": 1.21, "proofs_per_min": 45.0},
+            path=path,
+            directions={"proofs_per_min": "higher"},
+            git_sha="regressed",
+        )
+        names = {regression.metric for regression in flagged}
+        if names != {"prove_s", "proofs_per_min"}:
+            print(
+                f"selftest FAILED: expected both metrics flagged, got "
+                f"{sorted(names)}",
+                file=sys.stderr,
+            )
+            return 1
+        if len(load_history(path)) != 5:
+            print(
+                "selftest FAILED: regressed run was not appended",
+                file=sys.stderr,
+            )
+            return 1
+    print(
+        "selftest OK: baseline clean, +20% latency and -25% throughput "
+        "both flagged against the rolling median"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.trend",
+        description="Summarize or self-test the bench regression history.",
+    )
+    parser.add_argument(
+        "command",
+        nargs="?",
+        default="show",
+        choices=("show", "selftest"),
+        help="'show' summarizes the history (default); 'selftest' "
+        "exercises the tracker against a throwaway file",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        help=f"history file (default {HISTORY_PATH})",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "selftest":
+        return selftest()
+    return _summarize(args.history)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -133,6 +133,15 @@ class ServiceConfig:
     shutdown_timeout:
         Seconds :meth:`~repro.service.ProvingService.close` waits for
         in-flight jobs before giving up the join.
+    event_log_path:
+        When set, every job lifecycle event (submitted / started /
+        finished / failed / shed / cancelled) is appended as one JSON
+        line to this file as it happens; the most recent events are
+        always also buffered in memory (``ProvingService.events()``).
+    event_log_capacity:
+        How many recent events the in-memory ring retains.
+    error_ring_size:
+        How many recent job failures ``health()`` reports.
     """
 
     workers: int = 2
@@ -141,6 +150,9 @@ class ServiceConfig:
     warm_start: bool = True
     poll_interval: float = 0.05
     shutdown_timeout: float = 30.0
+    event_log_path: str | os.PathLike[str] | None = None
+    event_log_capacity: int = 256
+    error_ring_size: int = 32
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or self.workers < 1:
@@ -170,6 +182,12 @@ class ServiceConfig:
                 f"shutdown_timeout must be positive, got "
                 f"{self.shutdown_timeout!r}"
             )
+        for name in ("event_log_capacity", "error_ring_size"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ConfigError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
 
     def with_options(self, **changes: Any) -> "ServiceConfig":
         """A copy with the given fields replaced (validation re-runs)."""

@@ -137,12 +137,16 @@ def is_parallel() -> bool:
     return _workers > 1 and (_pool is None or _pool.usable)
 
 
-def _traced_task(fn: Callable[..., T], args: tuple) -> tuple[T, Any]:
+def _traced_task(
+    fn: Callable[..., T], args: tuple, context: dict | None = None
+) -> tuple[T, Any]:
     """Worker-side wrapper: run the task under a telemetry capture so
-    its spans/counters travel back to the parent with the result."""
+    its spans/counters travel back to the parent with the result.
+    ``context`` is the dispatching thread's job-scoped trace context
+    (job_id/trace_id), re-entered inside the worker."""
     from repro import telemetry
 
-    return telemetry.run_captured(fn, args)
+    return telemetry.run_captured(fn, args, context=context)
 
 
 def pmap(fn: Callable[..., T], tasks: Sequence[tuple]) -> list[T]:
@@ -162,7 +166,10 @@ def pmap(fn: Callable[..., T], tasks: Sequence[tuple]) -> list[T]:
     from repro import telemetry
 
     if telemetry.enabled():
-        tagged = pool.starmap(_traced_task, [(fn, args) for args in tasks])
+        context = telemetry.current_context() or None
+        tagged = pool.starmap(
+            _traced_task, [(fn, args, context) for args in tasks]
+        )
         return telemetry.absorb_task_results(tagged)
     return pool.starmap(fn, tasks)
 

@@ -79,6 +79,13 @@ class JobStatus:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: The job-scoped trace id stamped on every telemetry root span the
+    #: job produces (prover thread and fork-pool workers alike).
+    trace_id: str = ""
+    #: The live span path on the job's worker, root first (e.g.
+    #: ``"prove/prove.multiopen"``); ``""`` unless running with
+    #: telemetry enabled.
+    span_path: str = ""
 
     @property
     def elapsed_seconds(self) -> float:
@@ -106,6 +113,8 @@ class Job:
         "started_at",
         "finished_at",
         "done",
+        "trace_id",
+        "open_spans",
     )
 
     def __init__(
@@ -116,6 +125,12 @@ class Job:
     ):
         self.seq = next(_JOB_SEQ)
         self.job_id = JobId(f"job-{self.seq:06d}-{secrets.token_hex(4)}")
+        #: One trace per job: stamped onto every root span the job's
+        #: prover thread (and its fork-pool tasks) opens.
+        self.trace_id = f"trace-{secrets.token_hex(8)}"
+        #: Names of the currently-open spans on the job's worker
+        #: thread, root first (maintained by the scheduler's observer).
+        self.open_spans: list[str] = []
         self.sql = sql
         self.priority = Priority(priority)
         self.rng_seed = rng_seed
@@ -150,6 +165,8 @@ class Job:
             submitted_at=self.submitted_at,
             started_at=self.started_at,
             finished_at=self.finished_at,
+            trace_id=self.trace_id,
+            span_path="/".join(self.open_spans),
         )
 
     def finish(self, state: JobState, error: str | None = None) -> None:

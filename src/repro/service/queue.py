@@ -78,6 +78,15 @@ class JobQueue:
                     return None
             return heapq.heappop(self._heap)[1]
 
+    def depths(self) -> dict[str, int]:
+        """Current queued-job count per priority lane (all lanes always
+        present, zero when empty) -- the ``health()`` snapshot shape."""
+        with self._cond:
+            counts = {lane.name: 0 for lane in Priority}
+            for _, job in self._heap:
+                counts[job.priority.name] += 1
+            return counts
+
     def position(self, job: Job) -> int | None:
         """0-based dispatch rank of a queued job (``None`` if it is no
         longer queued)."""

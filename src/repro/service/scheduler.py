@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import nullcontext
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro import telemetry
 from repro.algebra.field import deterministic_rng
@@ -38,16 +38,23 @@ from repro.service.queue import JobQueue
 if TYPE_CHECKING:  # pragma: no cover
     from repro.system.prover_node import ProverNode
 
+#: ``on_event(event, job)`` callback the service installs to observe
+#: job lifecycle transitions (``"started"`` / ``"finished"`` /
+#: ``"failed"``) from the worker threads.
+JobEventHook = Callable[[str, Job], None]
+
 
 class ProverWorker(threading.Thread):
     """One long-lived prover worker thread."""
 
     def __init__(self, name: str, queue: JobQueue, prover: "ProverNode",
-                 poll_interval: float = 0.05):
+                 poll_interval: float = 0.05,
+                 on_event: Optional[JobEventHook] = None):
         super().__init__(name=name, daemon=True)
         self._queue = queue
         self._prover = prover
         self._poll = poll_interval
+        self._on_event = on_event
         self._stop_event = threading.Event()
         self._current: Job | None = None
         #: Per-worker completion counters surfaced by ``stats()``.
@@ -75,6 +82,10 @@ class ProverWorker(threading.Thread):
         job.state = JobState.RUNNING
         job.worker = self.name
         job.started_at = time.time()
+        telemetry.observe(
+            "service.queue_wait_seconds", job.started_at - job.submitted_at
+        )
+        self._emit("started", job)
         observer = self._phase_observer(job)
         telemetry.add_span_observer(observer)
         try:
@@ -83,28 +94,52 @@ class ProverWorker(threading.Thread):
                 if job.rng_seed is not None
                 else nullcontext()
             )
-            with seed_scope:
+            # Every root span the job opens here -- on this thread or a
+            # fork-pool worker -- carries the job's trace identity, so
+            # write_trace can stitch one tree per job afterwards.
+            with telemetry.job_scope(
+                job_id=str(job.job_id), trace_id=job.trace_id
+            ), seed_scope:
                 job.response = self._prover.answer(job.sql)
             job.finish(JobState.DONE)
             self.completed += 1
             telemetry.incr("service.jobs_done")
+            self._emit("finished", job)
         except BaseException as exc:  # a job must never kill the worker
             job.finish(JobState.FAILED, error=f"{type(exc).__name__}: {exc}")
             self.failed += 1
             telemetry.incr("service.jobs_failed")
+            self._emit("failed", job)
         finally:
             telemetry.remove_span_observer(observer)
+            job.open_spans.clear()
             self._current = None
 
+    def _emit(self, event: str, job: Job) -> None:
+        """Deliver a lifecycle event to the service hook; a broken hook
+        is the service's bug, never the job's failure."""
+        if self._on_event is None:
+            return
+        try:
+            self._on_event(event, job)
+        except Exception:
+            telemetry.incr("service.event_hook_errors")
+
     def _phase_observer(self, job: Job):
-        """A span observer mirroring this thread's ``prove*`` spans onto
-        ``job`` (other threads' spans are ignored)."""
+        """A span observer mirroring this thread's spans onto ``job``
+        (other threads' spans are ignored): the live span path for
+        ``status()``, plus the ``prove*`` phase bookkeeping."""
         thread_id = threading.get_ident()
 
         def observe(span, event: str) -> None:
             if threading.get_ident() != thread_id:
                 return
             name = getattr(span, "name", "")
+            if event == "begin":
+                job.open_spans.append(name)
+            else:
+                if job.open_spans and job.open_spans[-1] == name:
+                    job.open_spans.pop()
             if not name.startswith("prove"):
                 return
             if event == "begin":

@@ -18,6 +18,7 @@ worker threads.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro import telemetry
@@ -26,6 +27,8 @@ from repro.errors import JobFailed, JobNotFound, ServiceClosed, StateError
 from repro.service.jobs import Job, JobId, JobState, JobStatus, Priority
 from repro.service.queue import JobQueue
 from repro.service.scheduler import ProverWorker
+from repro.telemetry import promtext
+from repro.telemetry.obs import ErrorRing, EventLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api import Session
@@ -57,12 +60,19 @@ class ProvingService:
         self._rolled: set[JobId] = set()
         self._lock = threading.Lock()
         self._closed = False
+        self.started_at = time.time()
+        self.events_log = EventLog(
+            path=self.config.event_log_path,
+            capacity=self.config.event_log_capacity,
+        )
+        self.errors = ErrorRing(capacity=self.config.error_ring_size)
         self.workers = [
             ProverWorker(
                 name=f"prover-worker-{i}",
                 queue=self.queue,
                 prover=session.prover.worker_clone(key_cache={}),
                 poll_interval=self.config.poll_interval,
+                on_event=self._on_job_event,
             )
             for i in range(self.config.workers)
         ]
@@ -110,11 +120,66 @@ class ProvingService:
             self._jobs[job.job_id] = job
         try:
             self.queue.push(job)
-        except Exception:
+        except Exception as exc:
             with self._lock:
                 self._jobs.pop(job.job_id, None)
+            self.events_log.emit(
+                "shed",
+                job_id=job.job_id,
+                priority=job.priority.name,
+                queue_depth=len(self.queue),
+                reason=f"{type(exc).__name__}: {exc}",
+            )
             raise
+        self.events_log.emit(
+            "submitted",
+            job_id=job.job_id,
+            trace_id=job.trace_id,
+            priority=job.priority.name,
+            queue_depth=len(self.queue),
+        )
         return job.job_id
+
+    def _on_job_event(self, event: str, job: Job) -> None:
+        """Worker-thread hook: one call per job lifecycle transition
+        (``started`` / ``finished`` / ``failed``)."""
+        if event == "started":
+            self.events_log.emit(
+                "started",
+                job_id=job.job_id,
+                trace_id=job.trace_id,
+                worker=job.worker,
+                queue_wait_seconds=round(
+                    (job.started_at or 0.0) - job.submitted_at, 6
+                ),
+            )
+            return
+        run_seconds = 0.0
+        if job.finished_at is not None and job.started_at is not None:
+            run_seconds = job.finished_at - job.started_at
+        if event == "finished":
+            telemetry.observe("service.prove_seconds", run_seconds)
+            self.events_log.emit(
+                "finished",
+                job_id=job.job_id,
+                trace_id=job.trace_id,
+                worker=job.worker,
+                run_seconds=round(run_seconds, 6),
+            )
+        elif event == "failed":
+            self.errors.record(
+                job.error or "unknown error",
+                job_id=job.job_id,
+                worker=job.worker or "",
+            )
+            self.events_log.emit(
+                "failed",
+                job_id=job.job_id,
+                trace_id=job.trace_id,
+                worker=job.worker,
+                error=job.error,
+                run_seconds=round(run_seconds, 6),
+            )
 
     def status(self, job_id: JobId) -> JobStatus:
         """A point-in-time snapshot of the job's state, queue position,
@@ -256,6 +321,86 @@ class ProvingService:
             },
         }
 
+    def health(self) -> dict[str, Any]:
+        """An operational snapshot for liveness probes and dashboards.
+
+        Built from the service's own records (worker threads, queue,
+        job table, error ring), so it is meaningful even with telemetry
+        disabled.  Shape::
+
+            {
+              "healthy": bool,            # every worker thread alive
+              "closed": bool,
+              "uptime_seconds": float,
+              "workers": {name: {"alive", "current_job", "completed",
+                                 "failed"}},
+              "queue": {"depth", "depths": {lane: n}, "max_depth",
+                        "shed_count"},
+              "jobs": {state: count},
+              "keygen": {"requests", "warm_hits", "warm_hit_ratio"},
+              "last_errors": [...recent failures, oldest first...],
+            }
+        """
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state.value] = states.get(job.state.value, 0) + 1
+        workers = {}
+        for worker in self.workers:
+            current = worker._current
+            workers[worker.name] = {
+                "alive": worker.is_alive(),
+                "current_job": str(current.job_id) if current else None,
+                "completed": worker.completed,
+                "failed": worker.failed,
+            }
+        counters = telemetry.metrics_registry().counters_snapshot()
+        requests = int(counters.get("keygen.requests", 0))
+        warm_hits = int(counters.get("keygen.warm_hits", 0))
+        return {
+            "healthy": (not self._closed)
+            and all(info["alive"] for info in workers.values()),
+            "closed": self._closed,
+            "uptime_seconds": time.time() - self.started_at,
+            "workers": workers,
+            "queue": {
+                "depth": len(self.queue),
+                "depths": self.queue.depths(),
+                "max_depth": self.queue.max_depth,
+                "shed_count": self.queue.shed_count,
+            },
+            "jobs": states,
+            "keygen": {
+                "requests": requests,
+                "warm_hits": warm_hits,
+                "warm_hit_ratio": (
+                    warm_hits / requests if requests else 0.0
+                ),
+            },
+            "last_errors": self.errors.snapshot(),
+        }
+
+    def metrics_text(self) -> str:
+        """The ambient metrics registry in Prometheus text exposition
+        format, with the service's live gauges refreshed first (see
+        :mod:`repro.telemetry.promtext`)."""
+        registry = telemetry.metrics_registry()
+        registry.gauge("service.queue_depth", len(self.queue))
+        for lane, depth in self.queue.depths().items():
+            registry.gauge(f"service.queue_depth.{lane.lower()}", depth)
+        registry.gauge(
+            "service.workers_alive",
+            sum(1 for worker in self.workers if worker.is_alive()),
+        )
+        registry.gauge("service.uptime_seconds", time.time() - self.started_at)
+        return promtext.render_registry(registry)
+
+    def events(self, n: int | None = None) -> list[dict[str, Any]]:
+        """The most recent job lifecycle events, oldest first (the
+        in-memory ring; see ``config.event_log_path`` for the on-disk
+        stream)."""
+        return self.events_log.tail(n)
+
     # -- lifecycle -------------------------------------------------------
 
     @property
@@ -275,10 +420,17 @@ class ProvingService:
         for job in self.queue.close():
             job.finish(JobState.CANCELLED, error="service shut down")
             telemetry.incr("service.jobs_cancelled")
+            self.events_log.emit(
+                "cancelled", job_id=job.job_id, trace_id=job.trace_id
+            )
         for worker in self.workers:
             worker.request_stop()
         for worker in self.workers:
             worker.join(timeout=self.config.shutdown_timeout)
+        self.events_log.emit("closed", uptime_seconds=round(
+            time.time() - self.started_at, 6
+        ))
+        self.events_log.close()
 
     def __enter__(self) -> "ProvingService":
         return self

@@ -214,6 +214,7 @@ class VerifierNode:
             raise
         span.set(accepted=report.accepted).end()
         report.elapsed_seconds = span.duration
+        telemetry.observe("verify.seconds", span.duration)
         return report
 
     def _verify_claim(
@@ -362,6 +363,13 @@ class VerifierNode:
             span.end(status="error")
             raise
         span.set(accepted=accepted, deferred=deferred).end()
+        # The amortization histogram: per-proof cost of a batched
+        # verify, comparable against the verify.seconds series.
+        if responses:
+            telemetry.observe(
+                "verify.batch_per_proof_seconds",
+                span.duration / len(responses),
+            )
         return BatchReport(
             accepted=accepted,
             reports=reports,

@@ -39,6 +39,12 @@ from repro.telemetry.export import (
     render_tree,
     write_trace,
 )
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    HistogramSnapshot,
+    MetricsRegistry,
+)
 from repro.telemetry.tracer import (
     NOOP_SPAN,
     Span,
@@ -128,7 +134,7 @@ def time_call(fn: Callable[[], T]) -> tuple[T, float]:
     return result, sw.duration
 
 
-# -- counters and gauges ------------------------------------------------------
+# -- counters, gauges, histograms ---------------------------------------------
 
 
 def incr(name: str, value: float = 1) -> None:
@@ -139,6 +145,19 @@ def gauge(name: str, value: float) -> None:
     _TRACER.gauge(name, value)
 
 
+def observe(name: str, value: float, labels=None, bounds=None) -> None:
+    """Record one histogram sample (``telemetry.observe("prove.seconds",
+    dt)``); no-op when disabled.  Bucket bounds are fixed at the
+    series' first observation -- explicit ``bounds``, else a log-scale
+    default picked by name (see :mod:`repro.telemetry.metrics`)."""
+    _TRACER.observe(name, value, labels=labels, bounds=bounds)
+
+
+def metrics_registry() -> MetricsRegistry:
+    """The ambient tracer's metrics registry (exposition reads this)."""
+    return _TRACER.metrics
+
+
 def counters_snapshot() -> dict[str, float]:
     return _TRACER.counters_snapshot()
 
@@ -147,22 +166,59 @@ def gauges_snapshot() -> dict[str, float]:
     return _TRACER.gauges_snapshot()
 
 
-def metrics_summary() -> dict[str, dict[str, float]]:
-    """Counters + gauges in one dict (bench-report stamping)."""
-    return {
-        "counters": _TRACER.counters_snapshot(),
-        "gauges": _TRACER.gauges_snapshot(),
-    }
+def histogram(name: str, labels=None) -> HistogramSnapshot | None:
+    """One histogram series' snapshot (p50/p95/p99 via ``.summary()``)."""
+    return _TRACER.metrics.histogram(name, labels=labels)
+
+
+def metrics_summary() -> dict:
+    """Counters + gauges + histogram summaries in one deep-copied dict
+    (bench-report stamping; callers may mutate the result freely)."""
+    return _TRACER.metrics.summary()
+
+
+# -- job-scoped trace context -------------------------------------------------
+
+
+def job_scope(**fields: Any):
+    """``with telemetry.job_scope(job_id=..., trace_id=...):`` -- stamp
+    every root span opened by this thread (and by fork-pool tasks it
+    dispatches) with the given context, so a service job's whole span
+    forest is attributable to its job.  Nestable; inner scopes shadow
+    outer keys."""
+    return _TRACER.scoped_context(**fields)
+
+
+def current_context() -> dict[str, Any]:
+    """This thread's merged trace context (a copy; `{}` outside any
+    :func:`job_scope`)."""
+    return _TRACER.context()
 
 
 # -- worker-pool capture/merge ------------------------------------------------
 
 
-def run_captured(fn: Callable[..., T], args: tuple) -> tuple[T, TraceSnapshot | None]:
+def run_captured(
+    fn: Callable[..., T],
+    args: tuple,
+    context: dict[str, Any] | None = None,
+) -> tuple[T, TraceSnapshot | None]:
     """Worker-side shim used by :func:`repro.parallel.pmap`: run the
-    task under a fresh capture and return ``(result, snapshot)``."""
+    task under a fresh capture and return ``(result, snapshot)``.
+
+    ``context`` is the dispatching thread's :func:`current_context`,
+    re-entered here so spans a forked worker opens for a service job
+    still carry that job's ``trace_id`` when they merge back.
+    """
+    # The context must be re-entered INSIDE the capture: capture()
+    # swaps the tracer's thread-local state (span stack + context) for
+    # a fresh one, so a scope opened before it would be invisible.
     with _TRACER.capture() as cap:
-        result = fn(*args)
+        if context:
+            with _TRACER.scoped_context(**context):
+                result = fn(*args)
+        else:
+            result = fn(*args)
     return result, cap.snapshot()
 
 
@@ -193,7 +249,11 @@ def __getattr__(name: str):
 
 __all__ = [
     "CircuitReport",
+    "HistogramSnapshot",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
     "NOOP_SPAN",
+    "SIZE_BUCKETS",
     "Span",
     "Stopwatch",
     "Trace",
@@ -203,14 +263,19 @@ __all__ = [
     "add_span_observer",
     "begin_span",
     "counters_snapshot",
+    "current_context",
     "current_span",
     "enable",
     "enabled",
     "gauge",
     "gauges_snapshot",
     "get_tracer",
+    "histogram",
     "incr",
+    "job_scope",
+    "metrics_registry",
     "metrics_summary",
+    "observe",
     "phase_report",
     "read_trace",
     "remove_span_observer",

@@ -23,15 +23,51 @@ TRACE_VERSION = 1
 
 @dataclass
 class Trace:
-    """A deserialized trace file: span forest plus flat metrics."""
+    """A deserialized trace file: span forest plus flat metrics.
+
+    ``histograms`` holds each histogram series in its
+    :meth:`~repro.telemetry.metrics.HistogramSnapshot.as_dict` layout
+    (use :meth:`histogram_snapshots` for quantile math).
+    """
 
     roots: list[Span] = dc_field(default_factory=list)
     counters: dict[str, float] = dc_field(default_factory=dict)
     gauges: dict[str, float] = dc_field(default_factory=dict)
+    histograms: list[dict] = dc_field(default_factory=list)
 
     def iter_spans(self) -> Iterable[Span]:
         for root in self.roots:
             yield from root.walk()
+
+    def histogram_snapshots(self):
+        from repro.telemetry.metrics import HistogramSnapshot
+
+        return [HistogramSnapshot.from_dict(data) for data in self.histograms]
+
+    def job_roots(self) -> dict[str, list[Span]]:
+        """Root spans grouped by their stamped ``job_id`` attribute --
+        one stitched tree (or forest) per service job.  Roots without a
+        job context land under ``""``."""
+        grouped: dict[str, list[Span]] = {}
+        for root in self.roots:
+            grouped.setdefault(str(root.attrs.get("job_id", "")), []).append(
+                root
+            )
+        return grouped
+
+
+def _json_attr(value):
+    """Span attrs must survive a JSONL round-trip.  JSON scalars pass
+    through; containers are converted element-wise; anything else is
+    stringified rather than crashing the exporter (spans routinely
+    carry non-string attrs: ints, floats, bools, enums, paths)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_attr(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _json_attr(v) for k, v in value.items()}
+    return str(value)
 
 
 def _span_records(span: Span) -> Iterable[dict]:
@@ -45,7 +81,7 @@ def _span_records(span: Span) -> Iterable[dict]:
             "duration": node.duration,
             "cpu": node.cpu,
             "status": node.status,
-            "attrs": node.attrs,
+            "attrs": {str(k): _json_attr(v) for k, v in node.attrs.items()},
         }
 
 
@@ -58,6 +94,7 @@ def write_trace(path: str | os.PathLike[str], tracer: Tracer) -> None:
             "version": TRACE_VERSION,
             "counters": tracer.counters_snapshot(),
             "gauges": tracer.gauges_snapshot(),
+            "histograms": tracer.metrics.histograms_as_dicts(),
         }
         handle.write(json.dumps(meta, sort_keys=True) + "\n")
         for root in list(tracer.roots):
@@ -85,6 +122,7 @@ def read_trace(path: str | os.PathLike[str]) -> Trace:
                     )
                 trace.counters = record.get("counters", {})
                 trace.gauges = record.get("gauges", {})
+                trace.histograms = record.get("histograms", [])
             elif kind == "span":
                 span = Span(
                     shell,
@@ -116,6 +154,7 @@ def write_trace_spans(path: str | os.PathLike[str], trace: Trace) -> None:
             "version": TRACE_VERSION,
             "counters": trace.counters,
             "gauges": trace.gauges,
+            "histograms": trace.histograms,
         }
         handle.write(json.dumps(meta, sort_keys=True) + "\n")
         for root in trace.roots:

@@ -1,0 +1,130 @@
+"""Operational observability primitives: the structured event log and
+the last-error ring buffer.
+
+Both are deliberately tiny, dependency-free, and thread-safe; the
+proving service owns one of each (see
+:meth:`repro.service.ProvingService.health` and
+:attr:`~repro.config.ServiceConfig.event_log_path`).
+
+:class:`EventLog` is the JSONL event stream: every job lifecycle
+transition (``submitted`` / ``started`` / ``finished`` / ``failed`` /
+``shed`` / ``cancelled``) becomes one line with a wall-clock
+timestamp plus whatever structured fields the emitter attaches (job
+id, queue depth, worker, error).  The last ``capacity`` events are
+always retrievable in memory (:meth:`tail`); with a ``path`` they are
+additionally appended to disk as they happen, so a crashed service
+leaves a forensic trail.
+
+:class:`ErrorRing` keeps the most recent failures (bounded, oldest
+evicted) for ``health()`` snapshots -- "what broke recently" without
+grepping a log.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any
+
+
+class EventLog:
+    """A bounded in-memory event ring with optional JSONL persistence.
+
+    ``emit`` never raises: a broken disk sink is disabled after the
+    first failure (and counted via the ``write_errors`` attribute)
+    rather than allowed to take down the service hot path.
+    """
+
+    def __init__(self, path: str | os.PathLike[str] | None = None,
+                 capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._handle: io.TextIOBase | None = None
+        self.path = os.fspath(path) if path is not None else None
+        self.write_errors = 0
+        self.emitted = 0
+        if self.path is not None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Record one event; returns the record (with its timestamp)."""
+        record = {"ts": time.time(), "event": str(event)}
+        for key, value in fields.items():
+            record[key] = value if isinstance(
+                value, (str, int, float, bool, type(None))
+            ) else str(value)
+        with self._lock:
+            self.emitted += 1
+            self._ring.append(record)
+            if self._handle is not None:
+                try:
+                    self._handle.write(
+                        json.dumps(record, sort_keys=True) + "\n"
+                    )
+                    self._handle.flush()
+                except Exception:
+                    self.write_errors += 1
+                    try:
+                        self._handle.close()
+                    except Exception:
+                        pass
+                    self._handle = None
+        return record
+
+    def tail(self, n: int | None = None) -> list[dict[str, Any]]:
+        """The most recent ``n`` events (all buffered when ``None``),
+        oldest first; a fresh list of the live records."""
+        with self._lock:
+            events = list(self._ring)
+        return events if n is None else events[-n:]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except Exception:
+                    pass
+                self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class ErrorRing:
+    """The last-N-errors buffer surfaced by ``health()`` snapshots."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def record(self, error: str, **fields: Any) -> None:
+        entry = {"ts": time.time(), "error": str(error)}
+        entry.update({k: str(v) for k, v in fields.items()})
+        with self._lock:
+            self.total += 1
+            self._ring.append(entry)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Most recent last; deep enough a caller can't mutate us."""
+        with self._lock:
+            return [dict(entry) for entry in self._ring]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)

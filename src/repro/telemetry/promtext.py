@@ -1,0 +1,264 @@
+"""Prometheus text-format exposition for the metrics registry.
+
+``render_registry(telemetry.metrics_registry())`` (or
+``ProvingService.metrics_text()``) produces the standard
+`text exposition format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+
+- counters -> ``repro_<name>_total`` with ``# TYPE ... counter``;
+- gauges   -> ``repro_<name>`` with ``# TYPE ... gauge``;
+- histograms -> the full ``_bucket{le=...}`` / ``_sum`` / ``_count``
+  series **plus** a sibling ``<name>_summary`` summary metric carrying
+  the p50/p95/p99 quantile estimates, so a scrape shows tail latency
+  without server-side ``histogram_quantile`` math.
+
+Metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots
+become underscores) and prefixed ``repro_``.  :func:`parse` is a
+strict miniature parser for the same format -- the CI obs-smoke job
+and the tests round-trip every exposition through it, so "valid
+Prometheus text format" is a checked property, not an aspiration.
+
+CLI::
+
+    python -m repro.telemetry.promtext trace.jsonl   # a written trace
+    python -m repro.telemetry.promtext               # ambient registry
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+from typing import Iterable, Mapping
+
+from repro.telemetry.metrics import (
+    SUMMARY_QUANTILES,
+    HistogramSnapshot,
+    MetricsRegistry,
+)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+PREFIX = "repro_"
+
+
+def metric_name(name: str, suffix: str = "") -> str:
+    """``msm.points`` -> ``repro_msm_points`` (plus ``suffix``)."""
+    cleaned = _BAD_CHARS.sub("_", name.strip())
+    if not cleaned or not cleaned[0].isalpha():
+        cleaned = "m_" + cleaned
+    if not cleaned.startswith(PREFIX):
+        cleaned = PREFIX + cleaned
+    return cleaned + suffix
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _labels_text(labels: Iterable[tuple[str, str]]) -> str:
+    pairs = [f'{k}="{_escape_label(v)}"' for k, v in labels]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _histogram_lines(snap: HistogramSnapshot, out: list[str]) -> None:
+    base = metric_name(snap.name)
+    cumulative = 0
+    for bound, count in zip(snap.bounds, snap.counts):
+        cumulative += count
+        labels = _labels_text(tuple(snap.labels) + (("le", _fmt_value(bound)),))
+        out.append(f"{base}_bucket{labels} {cumulative}")
+    cumulative += snap.counts[-1] if snap.counts else 0
+    labels = _labels_text(tuple(snap.labels) + (("le", "+Inf"),))
+    out.append(f"{base}_bucket{labels} {cumulative}")
+    plain = _labels_text(snap.labels)
+    out.append(f"{base}_sum{plain} {_fmt_value(snap.sum)}")
+    out.append(f"{base}_count{plain} {snap.count}")
+
+
+def _summary_lines(snap: HistogramSnapshot, out: list[str]) -> None:
+    base = metric_name(snap.name, "_summary")
+    for q in SUMMARY_QUANTILES:
+        labels = _labels_text(
+            tuple(snap.labels) + (("quantile", _fmt_value(q)),)
+        )
+        out.append(f"{base}{labels} {_fmt_value(snap.quantile(q))}")
+    plain = _labels_text(snap.labels)
+    out.append(f"{base}_sum{plain} {_fmt_value(snap.sum)}")
+    out.append(f"{base}_count{plain} {snap.count}")
+
+
+def render(
+    counters: Mapping[str, float],
+    gauges: Mapping[str, float],
+    histograms: Iterable[HistogramSnapshot] = (),
+) -> str:
+    """The full exposition: deterministic order (sorted names; each
+    histogram followed by its quantile summary), trailing newline as
+    the format requires."""
+    out: list[str] = []
+    for name in sorted(counters):
+        prom = metric_name(name, "_total")
+        out.append(f"# TYPE {prom} counter")
+        out.append(f"{prom} {_fmt_value(counters[name])}")
+    for name in sorted(gauges):
+        prom = metric_name(name)
+        out.append(f"# TYPE {prom} gauge")
+        out.append(f"{prom} {_fmt_value(gauges[name])}")
+    by_family: dict[str, list[HistogramSnapshot]] = {}
+    for snap in histograms:
+        by_family.setdefault(snap.name, []).append(snap)
+    for name in sorted(by_family):
+        series = sorted(by_family[name], key=lambda s: s.labels)
+        out.append(f"# TYPE {metric_name(name)} histogram")
+        for snap in series:
+            _histogram_lines(snap, out)
+        out.append(f"# TYPE {metric_name(name, '_summary')} summary")
+        for snap in series:
+            _summary_lines(snap, out)
+    return "\n".join(out) + "\n" if out else ""
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    return render(
+        registry.counters_snapshot(),
+        registry.gauges_snapshot(),
+        registry.histograms_snapshot(),
+    )
+
+
+# -- validation parser --------------------------------------------------------
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL = re.compile(r'^\s*([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"\s*$')
+
+
+def parse(text: str) -> dict[str, list[tuple[dict[str, str], float]]]:
+    """Strictly parse an exposition back into
+    ``{metric_name: [(labels, value), ...]}``.
+
+    Raises :class:`ValueError` on any malformed line, undeclared
+    sample (no preceding ``# TYPE``), or unparsable value -- the tests
+    use this as the "is it valid Prometheus text format" oracle.
+    """
+    samples: dict[str, list[tuple[dict[str, str], float]]] = {}
+    declared: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                if not _NAME_OK.match(parts[2]):
+                    raise ValueError(f"line {lineno}: bad metric name in TYPE")
+                if parts[3] not in ("counter", "gauge", "histogram", "summary"):
+                    raise ValueError(f"line {lineno}: bad TYPE {parts[3]!r}")
+                declared.add(parts[2])
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparsable sample {line!r}")
+        name = match.group("name")
+        family = re.sub(r"_(?:total|bucket|sum|count|summary)$", "", name)
+        if name not in declared and family not in declared and not any(
+            name.startswith(d) for d in declared
+        ):
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE")
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            for part in _split_labels(raw, lineno):
+                pair = _LABEL.match(part)
+                if pair is None:
+                    raise ValueError(f"line {lineno}: bad label {part!r}")
+                labels[pair.group(1)] = pair.group(2)
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad value {raw_value!r}") from exc
+        samples.setdefault(name, []).append((labels, value))
+    return samples
+
+
+def _split_labels(raw: str, lineno: int) -> list[str]:
+    parts: list[str] = []
+    depth_quote = False
+    current = ""
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\" and depth_quote:
+            current += raw[i : i + 2]
+            i += 2
+            continue
+        if ch == '"':
+            depth_quote = not depth_quote
+        if ch == "," and not depth_quote:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+        i += 1
+    if depth_quote:
+        raise ValueError(f"line {lineno}: unterminated label quote")
+    if current:
+        parts.append(current)
+    return parts
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.promtext",
+        description="Render metrics in Prometheus text exposition "
+        "format, from a trace.jsonl file or the ambient registry.",
+    )
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        help="a trace.jsonl written by repro.telemetry.write_trace; "
+        "omit to render the current process's ambient registry",
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace:
+        from repro.telemetry.export import read_trace
+
+        try:
+            trace = read_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        text = render(
+            trace.counters, trace.gauges, trace.histogram_snapshots()
+        )
+    else:
+        from repro import telemetry
+
+        text = render_registry(telemetry.metrics_registry())
+    sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,6 +103,7 @@ def run_instrumented_prove():
         proof = create_proof(pk, asg)
     finally:
         root.end()
+    telemetry.observe("prove.seconds", root.duration)
     instance = [asg.instance_values(cols["out"])[: asg.usable_rows]]
     if not verify_proof(pk.vk, proof, instance):
         raise AssertionError("selfcheck proof did not verify")
@@ -144,6 +145,25 @@ def main(argv: list[str] | None = None) -> int:
     for counter in ("msm.calls", "fft.calls", "field.inversions"):
         if counters.get(counter, 0) <= 0:
             failures.append(f"counter {counter!r} never incremented")
+
+    # Histograms: the kernel observe() sites must have recorded, and
+    # the whole registry must render as valid Prometheus text format.
+    from repro.telemetry import promtext
+
+    registry = telemetry.metrics_registry()
+    for name in ("prove.seconds", "msm.points_per_call", "fft.points_per_call"):
+        snap = registry.histogram(name)
+        if snap is None or snap.count <= 0:
+            failures.append(f"histogram {name!r} never observed")
+    exposition = promtext.render_registry(registry)
+    (outdir / "metrics.prom").write_text(exposition, encoding="utf-8")
+    try:
+        samples = promtext.parse(exposition)
+    except ValueError as exc:
+        failures.append(f"promtext exposition failed to parse: {exc}")
+    else:
+        if not any("prove_seconds" in name for name in samples):
+            failures.append("prove.seconds missing from the exposition")
 
     if failures:
         for failure in failures:

@@ -34,7 +34,9 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field as dc_field
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
+
+from repro.telemetry.metrics import MetricsRegistry
 
 
 class Stopwatch:
@@ -197,11 +199,17 @@ class _SpanScope:
 
 @dataclass
 class TraceSnapshot:
-    """A picklable capture of one scope's telemetry (worker -> parent)."""
+    """A picklable capture of one scope's telemetry (worker -> parent).
+
+    ``histograms`` carries each series' bucket counts in the
+    :meth:`~repro.telemetry.metrics.HistogramSnapshot.as_dict` layout,
+    so the parent-side merge is an exact bucket-wise addition.
+    """
 
     counters: dict[str, float] = dc_field(default_factory=dict)
     gauges: dict[str, float] = dc_field(default_factory=dict)
     spans: list[dict] = dc_field(default_factory=list)
+    histograms: list[dict] = dc_field(default_factory=list)
 
 
 class _Capture:
@@ -240,14 +248,17 @@ class Tracer:
         self.enabled = enabled
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
-        self.counters: dict[str, float] = {}
-        self.gauges: dict[str, float] = {}
+        #: The flat-metrics store; ``incr``/``gauge``/``observe``
+        #: delegate here (see :mod:`repro.telemetry.metrics`).
+        self.metrics = MetricsRegistry()
         self.roots: list[Span] = []
         self._local = threading.local()
         #: Span lifecycle observers: ``fn(span, event)`` with event
         #: ``"begin"`` or ``"end"``, called on the span's own thread.
         #: Consumers (the proving service's live job-phase tracking)
-        #: must be fast and must not raise.
+        #: must be fast; one that raises is dropped from the list (and
+        #: ``telemetry.observers_dropped`` bumped) rather than allowed
+        #: to fail the instrumented work.
         self._observers: list = []
 
     # -- span observers ---------------------------------------------------
@@ -264,11 +275,47 @@ class Tracer:
             self._observers = [f for f in self._observers if f is not fn]
 
     def _notify(self, span: "Span", event: str) -> None:
-        for fn in self._observers:
+        # Copy-on-write list + a local reference: add/remove replace the
+        # list atomically under the lock, so dispatch never observes a
+        # half-mutated list even as worker threads register/unregister.
+        observers = self._observers
+        for fn in observers:
             try:
                 fn(span, event)
-            except Exception:  # observers must never break proving
-                pass
+            except Exception:
+                # An observer must never break proving.  Dropping it is
+                # strictly safer than calling it again: a raising
+                # observer tends to raise on every later span too.
+                self.remove_observer(fn)
+                self.metrics.incr("telemetry.observers_dropped")
+
+    # -- job-scoped trace context -----------------------------------------
+
+    def context(self) -> dict[str, Any]:
+        """The current thread's trace context (``job_id``/``trace_id``
+        and anything else pushed); a fresh copy, never the live dict."""
+        stack = getattr(self._local, "context", None)
+        merged: dict[str, Any] = {}
+        for frame in stack or ():
+            merged.update(frame)
+        return merged
+
+    @contextmanager
+    def scoped_context(self, **fields: Any):
+        """Push ``fields`` onto the thread's trace context for the
+        scope.  Root spans opened inside the scope are stamped with the
+        merged context, so every tree a job produces carries its
+        ``job_id``/``trace_id`` and ``write_trace`` emits one
+        stitched, attributable tree per job."""
+        stack = getattr(self._local, "context", None)
+        if stack is None:
+            stack = []
+            self._local.context = stack
+        stack.append(dict(fields))
+        try:
+            yield
+        finally:
+            stack.pop()
 
     # -- span stack (thread-local) --------------------------------------
 
@@ -295,6 +342,14 @@ class Tracer:
             return Stopwatch().start() if timed else NOOP_SPAN
         stack = self._stack()
         parent = stack[-1] if stack else None
+        if parent is None:
+            # Stamp the thread's trace context (job_id/trace_id) onto
+            # every root so per-job trees stay attributable after
+            # export; explicit attrs win on collision.
+            context = self.context()
+            if context:
+                context.update(attrs)
+                attrs = context
         span = Span(
             self,
             name,
@@ -334,36 +389,44 @@ class Tracer:
         wall/CPU time (a :class:`Stopwatch` when disabled)."""
         return _SpanScope(self, name, timed=True, attrs=attrs)
 
-    # -- counters and gauges --------------------------------------------
+    # -- counters, gauges, histograms ------------------------------------
 
     def incr(self, name: str, value: float = 1) -> None:
         if not self.enabled:
             return
-        with self._lock:
-            self.counters[name] = self.counters.get(name, 0) + value
+        self.metrics.incr(name, value)
 
     def gauge(self, name: str, value: float) -> None:
         if not self.enabled:
             return
-        with self._lock:
-            self.gauges[name] = value
+        self.metrics.gauge(name, value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, Any] | None = None,
+        bounds=None,
+    ) -> None:
+        """Record a histogram sample (no-op when disabled); see
+        :meth:`MetricsRegistry.observe`."""
+        if not self.enabled:
+            return
+        self.metrics.observe(name, value, labels=labels, bounds=bounds)
 
     def counters_snapshot(self) -> dict[str, float]:
-        with self._lock:
-            return dict(self.counters)
+        return self.metrics.counters_snapshot()
 
     def gauges_snapshot(self) -> dict[str, float]:
-        with self._lock:
-            return dict(self.gauges)
+        return self.metrics.gauges_snapshot()
 
     # -- lifecycle -------------------------------------------------------
 
     def reset(self) -> None:
         """Drop all collected data (does not change ``enabled``)."""
         with self._lock:
-            self.counters = {}
-            self.gauges = {}
             self.roots = []
+        self.metrics.reset()
         self._local = threading.local()
 
     def iter_spans(self) -> Iterator[Span]:
@@ -391,8 +454,8 @@ class Tracer:
             yield handle
             return
         with self._lock:
-            saved = (self.counters, self.gauges, self.roots)
-            self.counters, self.gauges, self.roots = {}, {}, []
+            saved = (self.metrics, self.roots)
+            self.metrics, self.roots = MetricsRegistry(), []
         saved_local = self._local
         self._local = threading.local()
         try:
@@ -400,24 +463,27 @@ class Tracer:
         finally:
             with self._lock:
                 handle._snapshot = TraceSnapshot(
-                    counters=self.counters,
-                    gauges=self.gauges,
+                    counters=self.metrics.counters_snapshot(),
+                    gauges=self.metrics.gauges_snapshot(),
                     spans=[span_to_dict(root) for root in self.roots],
+                    histograms=self.metrics.histograms_as_dicts(),
                 )
-                self.counters, self.gauges, self.roots = saved
+                self.metrics, self.roots = saved
             self._local = saved_local
 
     def merge(self, snapshot: TraceSnapshot, chunk: int | None = None) -> None:
         """Fold a worker's snapshot into this tracer.
 
-        Counters add, gauges last-write-win, and the snapshot's root
-        spans are re-parented under the currently active span (or become
-        roots), tagged with the originating ``chunk`` index.
+        Counters and histogram buckets add, gauges last-write-win, and
+        the snapshot's root spans are re-parented under the currently
+        active span (or become roots), tagged with the originating
+        ``chunk`` index.
         """
-        with self._lock:
-            for name, value in snapshot.counters.items():
-                self.counters[name] = self.counters.get(name, 0) + value
-            self.gauges.update(snapshot.gauges)
+        self.metrics.merge(
+            counters=snapshot.counters,
+            gauges=snapshot.gauges,
+            histograms=getattr(snapshot, "histograms", None),
+        )
         parent = self.current_span()
         for span_dict in snapshot.spans:
             span = self._revive(span_dict, parent)

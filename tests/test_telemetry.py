@@ -218,6 +218,141 @@ class TestExportRoundTrip:
         rendered = telemetry.render_phases(report)
         assert "quotient" in rendered and "phase coverage" in rendered
 
+    def test_non_string_attrs_round_trip(self, tele, tmp_path):
+        """Spans routinely carry ints, floats, bools, tuples, enums,
+        and paths; the JSONL writer must keep JSON scalars typed and
+        stringify the rest instead of crashing."""
+        from enum import Enum
+        from pathlib import Path
+
+        class Lane(Enum):
+            HIGH = 0
+
+        with tele.span(
+            "prove",
+            k=5,
+            ratio=0.5,
+            warm=True,
+            nothing=None,
+            sizes=(1, 2, 3),
+            nested={"a": Path("/tmp/x"), "b": 2},
+            lane=Lane.HIGH,
+        ):
+            pass
+        path = tmp_path / "attrs.jsonl"
+        telemetry.write_trace(path, tele.get_tracer())
+        (root,) = telemetry.read_trace(path).roots
+        assert root.attrs["k"] == 5
+        assert root.attrs["ratio"] == 0.5
+        assert root.attrs["warm"] is True
+        assert root.attrs["nothing"] is None
+        assert root.attrs["sizes"] == [1, 2, 3]
+        assert root.attrs["nested"] == {"a": "/tmp/x", "b": 2}
+        assert root.attrs["lane"] == "Lane.HIGH"
+        # And a second write of the parsed trace is byte-stable.
+        second = tmp_path / "attrs2.jsonl"
+        write_trace_spans(second, telemetry.read_trace(path))
+        assert path.read_bytes() == second.read_bytes()
+
+    def test_render_empty_trace(self, tele):
+        assert telemetry.render_tree([]) == ""
+        assert telemetry.render_tree([], {}, {}) == ""
+
+    def test_single_span_render_and_phase_report(self, tele):
+        root = tele.begin_span("prove")
+        root.end()
+        tree = telemetry.render_tree([root])
+        assert "prove" in tree and "% of parent" not in tree
+        report = telemetry.phase_report(root)
+        assert report["phases"] == {}
+        assert report["phase_coverage"] == 0.0
+        assert "phase coverage" in telemetry.render_phases(report)
+
+    def test_zero_duration_root_phase_report(self, tele):
+        root = tele.begin_span("prove")
+        root.end()
+        root.duration = 0.0
+        report = telemetry.phase_report(root)
+        assert report["phase_coverage"] == 0.0  # no division by zero
+        telemetry.render_phases(report)  # must not raise either
+
+
+class TestObserversAndContext:
+    def test_raising_observer_dropped_not_fatal(self, tele):
+        """A broken observer must not fail the traced work: it is
+        removed after its first raise and counted."""
+        seen = []
+
+        def good(span, event):
+            seen.append((span.name, event))
+
+        def bad(span, event):
+            raise RuntimeError("observer bug")
+
+        telemetry.add_span_observer(good)
+        telemetry.add_span_observer(bad)
+        try:
+            with tele.span("first"):
+                pass
+            with tele.span("second"):
+                pass
+        finally:
+            telemetry.remove_span_observer(good)
+            telemetry.remove_span_observer(bad)
+        assert ("first", "begin") in seen and ("second", "end") in seen
+        dropped = tele.counters_snapshot()["telemetry.observers_dropped"]
+        assert dropped == 1  # dropped at its first raise, not per span
+
+    def test_observer_list_mutation_during_dispatch(self, tele):
+        """An observer that unregisters itself mid-dispatch must not
+        break iteration over the observer list."""
+        calls = []
+
+        def self_removing(span, event):
+            calls.append(event)
+            telemetry.remove_span_observer(self_removing)
+
+        telemetry.add_span_observer(self_removing)
+        try:
+            with tele.span("outer"):
+                with tele.span("inner"):
+                    pass
+        finally:
+            telemetry.remove_span_observer(self_removing)
+        assert calls == ["begin"]
+
+    def test_job_scope_stamps_root_spans_only(self, tele):
+        with tele.job_scope(job_id="job-7", trace_id="trace-abc"):
+            assert tele.current_context() == {
+                "job_id": "job-7", "trace_id": "trace-abc",
+            }
+            with tele.span("prove") as root:
+                with tele.span("prove.quotient") as child:
+                    pass
+        assert tele.current_context() == {}
+        assert root.attrs["job_id"] == "job-7"
+        assert root.attrs["trace_id"] == "trace-abc"
+        assert "job_id" not in child.attrs  # children inherit via root
+
+    def test_explicit_attrs_beat_context(self, tele):
+        with tele.job_scope(job_id="from-context"):
+            with tele.span("prove", job_id="explicit") as root:
+                pass
+        assert root.attrs["job_id"] == "explicit"
+
+    def test_context_propagates_to_fork_workers(self, tele):
+        """Root spans captured in fork-pool workers carry the parent's
+        job context after the merge."""
+        with parallel.parallelism(2):
+            with tele.job_scope(job_id="job-42"):
+                with tele.span("parent"):
+                    parallel.pmap(_pmap_task, [(1,), (2,)])
+        (root,) = tele.get_tracer().roots
+        assert root.attrs["job_id"] == "job-42"
+        merged = [c for c in root.children if c.name == "test.task"]
+        assert len(merged) == 2
+        assert all(c.attrs["job_id"] == "job-42" for c in merged)
+
 
 class TestCircuitReport:
     def test_example_circuit_golden_values(self):
