@@ -29,8 +29,13 @@ from repro.cache import ArtifactCache, default_cache_dir
 from repro.config import ProverConfig, ServiceConfig
 from repro.errors import (
     ConfigError,
+    DeadlineExceeded,
     JobFailed,
     JobNotFound,
+    JobTimeout,
+    JournalCorrupt,
+    JournalError,
+    RecoveryMismatch,
     ReproError,
     ServiceClosed,
     ServiceError,
@@ -92,4 +97,9 @@ __all__ = [
     "ServiceOverloaded",
     "JobFailed",
     "JobNotFound",
+    "JobTimeout",
+    "DeadlineExceeded",
+    "JournalError",
+    "JournalCorrupt",
+    "RecoveryMismatch",
 ]

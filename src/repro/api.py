@@ -192,15 +192,27 @@ class Session:
         instead of replaying every proof, pinned by content digest."""
         return audit_aggregate(self.verifier(), agg)
 
-    def serve(self, config: ServiceConfig | None = None) -> "ProvingService":
+    def serve(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        journal_path=None,
+        chaos=None,
+    ) -> "ProvingService":
         """Start an async proving service over this session.
 
         Returns a :class:`~repro.service.service.ProvingService` (a
         context manager) whose workers share this session's database,
-        parameters, and commitment.  Commits first if needed."""
+        parameters, and commitment.  Commits first if needed.
+        ``journal_path`` (or ``config.journal_path``) enables the
+        durable job journal -- opening an existing journal replays it
+        and recovers interrupted jobs; see DESIGN.md section 5i."""
         from repro.service.service import ProvingService
 
-        return ProvingService(self, config or ServiceConfig())
+        return ProvingService(
+            self, config or ServiceConfig(),
+            journal_path=journal_path, chaos=chaos,
+        )
 
     def audit(self) -> AuditCertificate:
         """Run the trusted auditor over the published commitment."""

@@ -14,6 +14,14 @@ the description -- a different circuit shape, another seed, a bumped
 format version -- lands in a different file, which is the whole
 invalidation story.  Writes are atomic (temp file + rename), so a
 crashed run never leaves a truncated artifact behind.
+
+Reads are *self-checking*: every stored artifact is framed as
+``RCF1 | length:u64-le | payload | blake2b-16(payload)``, and
+``get_bytes`` verifies the frame before returning.  A truncated,
+bit-flipped, or foreign file is evicted on sight (counted as
+``cache.corrupt_evictions``) and reads as a miss, so the builder
+recomputes instead of a corrupt artifact reaching the prover -- disk
+corruption degrades to a cold start, never to a wrong proof.
 """
 
 from __future__ import annotations
@@ -34,10 +42,43 @@ logger = logging.getLogger("repro.cache")
 T = TypeVar("T")
 
 #: Bump to invalidate every artifact after a format-affecting change.
-CACHE_FORMAT_VERSION = 1
+#: v2: self-checking frame (magic + length + payload digest) on every
+#: stored artifact.
+CACHE_FORMAT_VERSION = 2
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_NO_CACHE"
+
+#: On-disk artifact frame: magic, u64-le payload length, payload, then
+#: a BLAKE2b-16 digest of the payload.
+_FRAME_MAGIC = b"RCF1"
+_FRAME_DIGEST_SIZE = 16
+_FRAME_HEADER_SIZE = len(_FRAME_MAGIC) + 8
+
+
+def _frame(payload: bytes) -> bytes:
+    digest = hashlib.blake2b(payload, digest_size=_FRAME_DIGEST_SIZE).digest()
+    return (
+        _FRAME_MAGIC + len(payload).to_bytes(8, "little") + payload + digest
+    )
+
+
+def _unframe(raw: bytes) -> bytes | None:
+    """The framed payload, or ``None`` for anything damaged: bad magic,
+    wrong length, truncation, or a digest mismatch."""
+    if len(raw) < _FRAME_HEADER_SIZE + _FRAME_DIGEST_SIZE:
+        return None
+    if not raw.startswith(_FRAME_MAGIC):
+        return None
+    length = int.from_bytes(raw[len(_FRAME_MAGIC):_FRAME_HEADER_SIZE], "little")
+    if _FRAME_HEADER_SIZE + length + _FRAME_DIGEST_SIZE != len(raw):
+        return None
+    payload = raw[_FRAME_HEADER_SIZE:_FRAME_HEADER_SIZE + length]
+    digest = raw[_FRAME_HEADER_SIZE + length:]
+    expect = hashlib.blake2b(payload, digest_size=_FRAME_DIGEST_SIZE).digest()
+    if digest != expect:
+        return None
+    return payload
 
 
 def default_cache_dir() -> Path:
@@ -109,9 +150,17 @@ class ArtifactCache:
             return None
         path = self.path_for(key)
         try:
-            return path.read_bytes()
+            raw = path.read_bytes()
         except OSError:
             return None
+        payload = _unframe(raw)
+        if payload is None:
+            # A damaged artifact must never reach a builder's
+            # deserializer: evict it and read as a miss so the value
+            # is recomputed from scratch.
+            self.evict(key, reason="corrupt frame")
+            return None
+        return payload
 
     def put_bytes(self, key: str, data: bytes) -> None:
         if not self.enabled:
@@ -121,13 +170,28 @@ class ArtifactCache:
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
+                handle.write(_frame(data))
             os.replace(tmp, self.path_for(key))
         except OSError:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+    def evict(self, key: str, reason: str = "evicted") -> bool:
+        """Remove one artifact (corruption recovery path); counted as
+        ``cache.corrupt_evictions`` when the reason says corrupt."""
+        path = self.path_for(key)
+        try:
+            path.unlink()
+            removed = True
+        except OSError:
+            removed = False
+        if "corrupt" in reason:
+            telemetry.incr("cache.corrupt_evictions")
+        logger.warning("cache EVICT %s (%s)", key, reason)
+        self.stats.events.append(f"cache EVICT {key} ({reason})")
+        return removed
 
     # -- high-level helpers ---------------------------------------------
 

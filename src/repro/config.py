@@ -142,6 +142,50 @@ class ServiceConfig:
         How many recent events the in-memory ring retains.
     error_ring_size:
         How many recent job failures ``health()`` reports.
+    journal_path:
+        When set, every job lifecycle transition is appended to this
+        durable write-ahead journal, and opening a service on an
+        existing journal replays it: interrupted jobs are re-enqueued
+        and re-proved (byte-identical under a pinned ``rng_seed``; see
+        :mod:`repro.service.journal` and DESIGN.md section 5i).
+    journal_fsync:
+        ``fsync`` the journal after every append.  Off by default: a
+        plain flush survives process crashes (SIGKILL included); fsync
+        additionally survives machine/OS crashes at a large latency
+        cost per transition.
+    max_retries:
+        How many times a job that *dies with its worker* (or fails
+        non-deterministically) is re-enqueued before it is failed for
+        good.  Deterministic failures -- the typed
+        :class:`repro.errors.ReproError` hierarchy, bad SQL -- are
+        never retried.  0 (the default) disables retries.
+    retry_backoff_seconds:
+        Base of the exponential retry backoff: attempt ``n`` waits
+        ``base * 2**(n-1)`` seconds (plus jitter, capped by
+        ``retry_backoff_max``) before re-enqueueing.
+    retry_backoff_max:
+        Upper bound on a single retry's backoff delay.
+    default_deadline_seconds:
+        Deadline applied to jobs submitted without an explicit
+        ``deadline_seconds``.  ``None`` (default) = no deadline.
+        Deadlines are enforced cooperatively: an expired queued job
+        fails at dequeue, and a running job is aborted at its next
+        telemetry span boundary (so mid-prove enforcement needs the
+        session's telemetry enabled).
+    supervisor_interval:
+        Period of the supervisor thread that respawns dead workers and
+        releases due retries.
+    tenant_quotas:
+        Per-tenant admission bounds: tenant name -> max jobs that may
+        be queued or running at once.  A submission over its tenant's
+        quota is rejected with a typed
+        :class:`~repro.errors.ServiceOverloaded` carrying the tenant
+        and quota, telling that tenant to back off while others keep
+        being admitted.
+    default_tenant_quota:
+        Quota applied to tenants absent from ``tenant_quotas`` (the
+        anonymous ``None`` tenant is never quota-limited).  ``None``
+        disables the default bound.
     """
 
     workers: int = 2
@@ -153,6 +197,15 @@ class ServiceConfig:
     event_log_path: str | os.PathLike[str] | None = None
     event_log_capacity: int = 256
     error_ring_size: int = 32
+    journal_path: str | os.PathLike[str] | None = None
+    journal_fsync: bool = False
+    max_retries: int = 0
+    retry_backoff_seconds: float = 0.1
+    retry_backoff_max: float = 5.0
+    default_deadline_seconds: float | None = None
+    supervisor_interval: float = 0.05
+    tenant_quotas: Any = None
+    default_tenant_quota: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or self.workers < 1:
@@ -188,6 +241,64 @@ class ServiceConfig:
                 raise ConfigError(
                     f"{name} must be a positive integer, got {value!r}"
                 )
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be a non-negative integer, got "
+                f"{self.max_retries!r}"
+            )
+        for name in (
+            "retry_backoff_seconds", "retry_backoff_max", "supervisor_interval"
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ConfigError(
+                    f"{name} must be positive, got {value!r}"
+                )
+        if self.default_deadline_seconds is not None and (
+            not isinstance(self.default_deadline_seconds, (int, float))
+            or self.default_deadline_seconds <= 0
+        ):
+            raise ConfigError(
+                f"default_deadline_seconds must be positive or None, got "
+                f"{self.default_deadline_seconds!r}"
+            )
+        if self.tenant_quotas is not None:
+            try:
+                normalized = dict(self.tenant_quotas)
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"tenant_quotas must be a mapping of tenant -> quota, "
+                    f"got {self.tenant_quotas!r}"
+                ) from None
+            for tenant, quota in normalized.items():
+                if not isinstance(tenant, str) or not tenant:
+                    raise ConfigError(
+                        f"tenant names must be non-empty strings, got "
+                        f"{tenant!r}"
+                    )
+                if not isinstance(quota, int) or quota < 1:
+                    raise ConfigError(
+                        f"quota for tenant {tenant!r} must be a positive "
+                        f"integer, got {quota!r}"
+                    )
+            object.__setattr__(self, "tenant_quotas", normalized)
+        if self.default_tenant_quota is not None and (
+            not isinstance(self.default_tenant_quota, int)
+            or self.default_tenant_quota < 1
+        ):
+            raise ConfigError(
+                f"default_tenant_quota must be a positive integer or None, "
+                f"got {self.default_tenant_quota!r}"
+            )
+
+    def quota_for(self, tenant: str | None) -> int | None:
+        """The admission quota applying to ``tenant`` (``None`` =
+        unbounded; the anonymous tenant is never bounded)."""
+        if tenant is None:
+            return None
+        if self.tenant_quotas and tenant in self.tenant_quotas:
+            return self.tenant_quotas[tenant]
+        return self.default_tenant_quota
 
     def with_options(self, **changes: Any) -> "ServiceConfig":
         """A copy with the given fields replaced (validation re-runs)."""

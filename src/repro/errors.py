@@ -52,12 +52,22 @@ class ServiceError(ReproError, RuntimeError):
 
 class ServiceOverloaded(ServiceError):
     """The proving service shed the submission: the job queue is at its
-    configured depth for the job's priority lane.  Carries the depth
-    observed at rejection time so clients can back off intelligently."""
+    configured depth for the job's priority lane, or the submitting
+    tenant is at its admission quota.  Carries the depth observed at
+    rejection time (and, for quota rejections, the ``tenant`` and its
+    ``quota``) so clients can back off intelligently."""
 
-    def __init__(self, message: str, queue_depth: int = 0):
+    def __init__(
+        self,
+        message: str,
+        queue_depth: int = 0,
+        tenant: str | None = None,
+        quota: int | None = None,
+    ):
         super().__init__(message)
         self.queue_depth = queue_depth
+        self.tenant = tenant
+        self.quota = quota
 
 
 class ServiceClosed(ServiceError):
@@ -81,6 +91,48 @@ class JobFailed(ServiceError):
         self.error = error
 
 
+class JobTimeout(ServiceError, TimeoutError):
+    """``ProvingService.wait()`` gave up before the job finished.  The
+    job itself keeps running; poll or ``wait`` again.  Also a
+    ``TimeoutError`` (the type this code historically raised), so
+    pre-existing ``except TimeoutError`` handlers keep working."""
+
+    def __init__(self, job_id: str, message: str):
+        super().__init__(message)
+        self.job_id = job_id
+
+
+class DeadlineExceeded(ServiceError, TimeoutError):
+    """The job blew through its ``deadline_seconds`` budget and was
+    failed (cooperatively aborted mid-prove, or shed at dequeue when it
+    expired while queued).  Deterministic with respect to the deadline:
+    never retried."""
+
+
+class JournalError(ServiceError):
+    """Base class for durable job-journal failures
+    (:mod:`repro.service.journal`)."""
+
+
+class JournalCorrupt(JournalError):
+    """The journal contains a damaged record *before* its final frame.
+    A torn final record (the normal signature of a crash mid-append) is
+    tolerated silently; anything earlier means the file was tampered
+    with or the storage layer lost bytes, and replaying it could
+    resurrect the wrong job set."""
+
+    def __init__(self, message: str, offset: int = -1):
+        super().__init__(message)
+        self.offset = offset
+
+
+class RecoveryMismatch(ServiceError):
+    """A replayed job completed with proof bytes that do not match the
+    result digest the journal recorded before the crash.  With a pinned
+    ``rng_seed`` proofs are byte-deterministic, so a mismatch means the
+    database, parameters, or prover changed under the journal."""
+
+
 __all__ = [
     "ReproError",
     "ConfigError",
@@ -92,4 +144,9 @@ __all__ = [
     "ServiceClosed",
     "JobNotFound",
     "JobFailed",
+    "JobTimeout",
+    "DeadlineExceeded",
+    "JournalError",
+    "JournalCorrupt",
+    "RecoveryMismatch",
 ]

@@ -2,10 +2,16 @@
 
 A *job* is one ``submit()``-ed SQL query working its way through the
 queue and a prover worker.  :class:`Job` is the internal mutable
-record (guarded by its owning service's lock plus a per-job completion
+record (its state machine guarded by a per-job lock plus a completion
 event); :class:`JobStatus` is the immutable snapshot handed to
 clients, and :class:`JobState` / :class:`Priority` are the public
 enums both sides share.
+
+State transitions go through :meth:`Job.claim` / :meth:`Job.requeue` /
+:meth:`Job.finish`, which are atomic and idempotent: a job that two
+workers race to start (a duplicated queue pop under fault injection)
+is claimed exactly once, and a job can never reach a terminal state
+twice -- the invariants the chaos suite asserts.
 """
 
 from __future__ import annotations
@@ -25,14 +31,36 @@ if TYPE_CHECKING:  # pragma: no cover
 JobId = NewType("JobId", str)
 
 _JOB_SEQ = itertools.count(1)
+_SEQ_LOCK = threading.Lock()
+
+
+def next_seq() -> int:
+    with _SEQ_LOCK:
+        return next(_JOB_SEQ)
+
+
+def advance_seq(floor: int) -> None:
+    """Ensure future sequence numbers exceed ``floor``.
+
+    Journal recovery restores jobs with their original sequence
+    numbers (they encode FIFO order inside a priority lane); new
+    submissions in the recovered process must sort after them even
+    though this process's counter started back at 1.
+    """
+    global _JOB_SEQ
+    with _SEQ_LOCK:
+        current = next(_JOB_SEQ)
+        _JOB_SEQ = itertools.count(max(current, floor + 1))
 
 
 class JobState(str, Enum):
     """Lifecycle of a submitted job.
 
-    ``QUEUED -> RUNNING -> DONE | FAILED`` is the normal path;
-    ``CANCELLED`` is reached only when the service shuts down with the
-    job still queued.
+    ``QUEUED -> RUNNING -> DONE | FAILED`` is the normal path; a
+    retried job moves ``RUNNING -> QUEUED`` again (bounded by
+    ``max_retries``); ``CANCELLED`` is reached via
+    ``ProvingService.cancel`` or at service shutdown with the job
+    still queued.
     """
 
     QUEUED = "QUEUED"
@@ -86,6 +114,14 @@ class JobStatus:
     #: ``"prove/prove.multiopen"``); ``""`` unless running with
     #: telemetry enabled.
     span_path: str = ""
+    #: The submitting tenant (admission-quota accounting key).
+    tenant: Optional[str] = None
+    #: Wall-clock budget from submission; ``None`` = unbounded.
+    deadline_seconds: Optional[float] = None
+    #: How many retry re-enqueues the job has consumed so far.
+    attempts: int = 0
+    #: True when this job was restored from a journal replay.
+    recovered: bool = False
 
     @property
     def elapsed_seconds(self) -> float:
@@ -103,6 +139,13 @@ class Job:
         "priority",
         "seq",
         "rng_seed",
+        "tenant",
+        "deadline_seconds",
+        "max_retries",
+        "attempts",
+        "expected_digest",
+        "recovered",
+        "result_digest",
         "state",
         "response",
         "error",
@@ -115,6 +158,8 @@ class Job:
         "done",
         "trace_id",
         "open_spans",
+        "_lock",
+        "completions",
     )
 
     def __init__(
@@ -122,9 +167,18 @@ class Job:
         sql: str,
         priority: Priority = Priority.NORMAL,
         rng_seed: int | None = None,
+        tenant: str | None = None,
+        deadline_seconds: float | None = None,
+        max_retries: int = 0,
+        job_id: JobId | None = None,
+        seq: int | None = None,
     ):
-        self.seq = next(_JOB_SEQ)
-        self.job_id = JobId(f"job-{self.seq:06d}-{secrets.token_hex(4)}")
+        self.seq = seq if seq is not None else next_seq()
+        self.job_id = (
+            job_id
+            if job_id is not None
+            else JobId(f"job-{self.seq:06d}-{secrets.token_hex(4)}")
+        )
         #: One trace per job: stamped onto every root span the job's
         #: prover thread (and its fork-pool tasks) opens.
         self.trace_id = f"trace-{secrets.token_hex(8)}"
@@ -134,6 +188,16 @@ class Job:
         self.sql = sql
         self.priority = Priority(priority)
         self.rng_seed = rng_seed
+        self.tenant = tenant
+        self.deadline_seconds = deadline_seconds
+        self.max_retries = max_retries
+        self.attempts = 0
+        #: Journal-recorded proof digest a replayed job must reproduce
+        #: (checked only when ``rng_seed`` pins the blinds).
+        self.expected_digest: str | None = None
+        self.recovered = False
+        #: Digest of the completed proof's wire bytes (set at DONE).
+        self.result_digest: str | None = None
         self.state = JobState.QUEUED
         self.response: "QueryResponse | None" = None
         self.error: str | None = None
@@ -145,11 +209,81 @@ class Job:
         self.finished_at: float | None = None
         #: Set exactly once, when the job reaches a terminal state.
         self.done = threading.Event()
+        #: Guards every state transition (claim/requeue/finish/cancel).
+        self._lock = threading.Lock()
+        #: Terminal-transition count; >1 would mean a double completion
+        #: (the chaos suite's core invariant) and is made impossible by
+        #: :meth:`finish`'s idempotency.
+        self.completions = 0
 
     @property
     def order_key(self) -> tuple[int, int]:
         """Heap key: priority lane first, then submission order."""
         return (int(self.priority), self.seq)
+
+    @property
+    def deadline_at(self) -> float | None:
+        """Absolute wall-clock deadline, or ``None``."""
+        if self.deadline_seconds is None:
+            return None
+        return self.submitted_at + self.deadline_seconds
+
+    def deadline_passed(self, now: float | None = None) -> bool:
+        deadline = self.deadline_at
+        if deadline is None:
+            return False
+        return (now if now is not None else time.time()) > deadline
+
+    # -- atomic state transitions ----------------------------------------
+
+    def claim(self, worker: str) -> bool:
+        """Atomically move QUEUED -> RUNNING for ``worker``.
+
+        Returns False when the job is not claimable (already running
+        elsewhere after a duplicated pop, cancelled, or finished) --
+        the caller must then skip it.
+        """
+        with self._lock:
+            if self.state is not JobState.QUEUED:
+                return False
+            self.state = JobState.RUNNING
+            self.worker = worker
+            self.started_at = time.time()
+            return True
+
+    def requeue(self) -> bool:
+        """Move a non-terminal job back to QUEUED for a retry."""
+        with self._lock:
+            if self.done.is_set():
+                return False
+            self.state = JobState.QUEUED
+            self.worker = None
+            self.phase = None
+            return True
+
+    def mark_cancelled_if_queued(self) -> bool:
+        """Atomically reserve a queued job for cancellation (so a
+        racing ``claim`` loses); the caller completes with
+        :meth:`finish`."""
+        with self._lock:
+            if self.state is not JobState.QUEUED or self.done.is_set():
+                return False
+            self.state = JobState.CANCELLED
+            return True
+
+    def finish(self, state: JobState, error: str | None = None) -> bool:
+        """Move to a terminal state exactly once; False if already
+        terminal (the double-completion guard)."""
+        with self._lock:
+            if self.done.is_set():
+                return False
+            self.state = state
+            self.error = error
+            self.finished_at = time.time()
+            self.phase = None
+            self.completions += 1
+            self.done.set()
+            return True
 
     def snapshot(self, queue_position: int | None = None) -> JobStatus:
         return JobStatus(
@@ -167,11 +301,8 @@ class Job:
             finished_at=self.finished_at,
             trace_id=self.trace_id,
             span_path="/".join(self.open_spans),
+            tenant=self.tenant,
+            deadline_seconds=self.deadline_seconds,
+            attempts=self.attempts,
+            recovered=self.recovered,
         )
-
-    def finish(self, state: JobState, error: str | None = None) -> None:
-        self.state = state
-        self.error = error
-        self.finished_at = time.time()
-        self.phase = None
-        self.done.set()

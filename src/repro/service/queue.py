@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 
 from repro import telemetry
 from repro.errors import ServiceClosed, ServiceOverloaded
@@ -25,9 +26,19 @@ from repro.service.jobs import Job, JobState, Priority
 
 
 class JobQueue:
-    """A bounded, priority-ordered queue of :class:`Job` records."""
+    """A bounded, priority-ordered queue of :class:`Job` records.
 
-    def __init__(self, max_depth: int, high_priority_reserve: int = 0):
+    ``chaos`` is the fault-injection port (``None`` in production, zero
+    cost): an object that may delay a pop or ask for it to be
+    duplicated -- see :mod:`repro.service.chaos`.
+    """
+
+    def __init__(
+        self,
+        max_depth: int,
+        high_priority_reserve: int = 0,
+        chaos=None,
+    ):
         if max_depth < 1:
             raise ValueError("max_depth must be positive")
         if not 0 <= high_priority_reserve < max_depth:
@@ -38,6 +49,7 @@ class JobQueue:
         self._cond = threading.Condition()
         self._closed = False
         self.shed_count = 0
+        self._chaos = chaos
 
     def __len__(self) -> int:
         with self._cond:
@@ -50,13 +62,19 @@ class JobQueue:
             return self.max_depth
         return self.max_depth - self.high_priority_reserve
 
-    def push(self, job: Job) -> None:
-        """Admit ``job`` or shed it with :class:`ServiceOverloaded`."""
+    def push(self, job: Job, force: bool = False) -> None:
+        """Admit ``job`` or shed it with :class:`ServiceOverloaded`.
+
+        ``force`` bypasses the depth bound (never the closed check):
+        retry re-enqueues and journal recovery re-admit jobs the
+        service already accepted once, so shedding them would break the
+        no-lost-jobs contract.
+        """
         with self._cond:
             if self._closed:
                 raise ServiceClosed("proving service is shut down")
             depth = len(self._heap)
-            if depth >= self.depth_limit(job.priority):
+            if not force and depth >= self.depth_limit(job.priority):
                 self.shed_count += 1
                 telemetry.incr("service.jobs_shed")
                 raise ServiceOverloaded(
@@ -76,7 +94,31 @@ class JobQueue:
             while not self._heap:
                 if self._closed or not self._cond.wait(timeout=timeout):
                     return None
-            return heapq.heappop(self._heap)[1]
+            job = heapq.heappop(self._heap)[1]
+            if self._chaos is not None and self._chaos.duplicate_pop(job):
+                # Fault injection: leave a second copy in the heap so
+                # another worker pops the same job.  Job.claim() is the
+                # guard that must make this harmless.
+                heapq.heappush(self._heap, (job.order_key, job))
+                self._cond.notify()
+        if self._chaos is not None:
+            delay = self._chaos.pop_delay(job)
+            if delay > 0:
+                time.sleep(delay)
+        return job
+
+    def remove(self, job: Job) -> bool:
+        """Withdraw a specific queued job (client cancellation); False
+        when it is no longer in the heap (already popped or drained)."""
+        with self._cond:
+            for i, (_, queued) in enumerate(self._heap):
+                if queued is job:
+                    self._heap[i] = self._heap[-1]
+                    self._heap.pop()
+                    if i < len(self._heap):
+                        heapq.heapify(self._heap)
+                    return True
+        return False
 
     def depths(self) -> dict[str, int]:
         """Current queued-job count per priority lane (all lanes always

@@ -1,4 +1,5 @@
-"""The prover farm: long-lived workers draining the job queue.
+"""The prover farm: long-lived workers draining the job queue, and
+the supervisor that keeps the farm at full strength.
 
 Each :class:`ProverWorker` is a daemon thread owning a
 :meth:`~repro.system.prover_node.ProverNode.worker_clone` of the
@@ -12,19 +13,37 @@ fixed-base MSM tables live in the process-wide registry
 (:mod:`repro.ecc.fixed_base`) with its registry -> disk -> build
 fallback, so all workers share one warm copy.
 
-A job failure (malformed SQL, a prover bug, an injected crash) is
-caught at the worker loop, recorded on the job as ``FAILED`` with the
-error string, and the worker moves on -- a crash can never wedge the
-queue or leave a client blocked in ``wait()``.
+Failure handling is layered:
 
-Live phase progress comes from the telemetry span stream: while a
-worker runs a job it registers a span observer filtered to its own
-thread, mirroring every ``prove.*`` span begin/end onto the job record
-(the same spans that later form the response's phase report).
+- A job exception is caught at the worker loop and *classified*: the
+  typed :class:`~repro.errors.ReproError` hierarchy (plus
+  ``ValueError`` / ``TypeError``-shaped input errors) is deterministic
+  -- the same SQL would fail the same way -- so the job goes straight
+  to ``FAILED``.  Anything else (a transient resource error, an
+  injected crash) is offered to the service's retry policy, which may
+  re-enqueue the job with exponential backoff.
+- :class:`WorkerKilled` (a ``BaseException``, so no job-level handler
+  swallows it) takes down the whole worker thread with its job still
+  ``RUNNING`` -- the fault-injection model of a thread dying mid-job.
+  The :class:`Supervisor` detects the dead thread, hands the orphaned
+  job to the retry policy, and respawns a replacement so the farm
+  returns to full capacity.
+- Deadlines are enforced cooperatively through the telemetry span
+  observer the worker already installs for live phase tracking: every
+  span begin/end on the job's thread checks the wall-clock budget and
+  aborts the prove with a :class:`~repro.errors.DeadlineExceeded`
+  failure when it is spent (an internal ``BaseException`` carries the
+  abort through the observer dispatch, which only swallows
+  ``Exception``).
+
+Live phase progress comes from the same span stream: while a worker
+runs a job it mirrors every ``prove.*`` span begin/end onto the job
+record (the same spans that later form the response's phase report).
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from contextlib import nullcontext
@@ -32,6 +51,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro import telemetry
 from repro.algebra.field import deterministic_rng
+from repro.errors import RecoveryMismatch, ReproError
 from repro.service.jobs import Job, JobState
 from repro.service.queue import JobQueue
 
@@ -43,18 +63,65 @@ if TYPE_CHECKING:  # pragma: no cover
 #: ``"failed"``) from the worker threads.
 JobEventHook = Callable[[str, Job], None]
 
+#: ``retry(job, error) -> bool`` policy hook: True when the service
+#: re-enqueued the job (the worker must then not finish it).
+RetryHook = Callable[[Job, str], bool]
+
+
+class WorkerKilled(BaseException):
+    """Kills a worker thread mid-job (fault injection).
+
+    Deliberately a ``BaseException``: the per-job crash containment
+    catches ``Exception``-shaped failures, but a *worker death* must
+    leave the job ``RUNNING`` and orphaned for the supervisor to
+    recover -- the scenario the chaos suite drives.
+    """
+
+
+class _DeadlineAbort(BaseException):
+    """Internal cooperative-abort signal raised by the deadline check
+    inside the worker's span observer.  A ``BaseException`` so it
+    passes through the tracer's observer dispatch (which contains
+    ``Exception`` only) and unwinds the prove."""
+
+
+def response_digest(response) -> str:
+    """BLAKE2b hex digest of a response's proof wire bytes -- the
+    byte-identity anchor the journal records and recovery re-checks.
+    Falls back to ``repr`` for stubbed responses in tests."""
+    wire = getattr(response, "wire_bytes", None)
+    data = wire() if callable(wire) else repr(response).encode()
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def is_deterministic_failure(exc: BaseException) -> bool:
+    """Whether retrying the same SQL could possibly succeed.
+
+    The typed hierarchy is the classifier: every intentional
+    :class:`~repro.errors.ReproError` (config, wire format, state,
+    verification) is a property of the input, as are ``ValueError`` /
+    ``TypeError`` parse-shaped errors.  Everything else -- resource
+    exhaustion, injected crashes, genuine prover bugs -- is treated as
+    transient and eligible for bounded retry.
+    """
+    return isinstance(exc, (ReproError, ValueError, TypeError, KeyError))
+
 
 class ProverWorker(threading.Thread):
     """One long-lived prover worker thread."""
 
     def __init__(self, name: str, queue: JobQueue, prover: "ProverNode",
                  poll_interval: float = 0.05,
-                 on_event: Optional[JobEventHook] = None):
+                 on_event: Optional[JobEventHook] = None,
+                 retry: Optional[RetryHook] = None,
+                 chaos=None):
         super().__init__(name=name, daemon=True)
         self._queue = queue
         self._prover = prover
         self._poll = poll_interval
         self._on_event = on_event
+        self._retry = retry
+        self._chaos = chaos
         self._stop_event = threading.Event()
         self._current: Job | None = None
         #: Per-worker completion counters surfaced by ``stats()``.
@@ -66,29 +133,58 @@ class ProverWorker(threading.Thread):
     def request_stop(self) -> None:
         self._stop_event.set()
 
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_event.is_set()
+
     def run(self) -> None:  # pragma: no branch - loop structure
-        while not self._stop_event.is_set():
-            job = self._queue.pop(timeout=self._poll)
-            if job is None:
-                if self._queue.closed:
-                    break
-                continue
-            self._execute(job)
+        try:
+            while not self._stop_event.is_set():
+                job = self._queue.pop(timeout=self._poll)
+                if job is None:
+                    if self._queue.closed:
+                        break
+                    continue
+                self._execute(job)
+        except WorkerKilled:
+            # The thread dies with its job still RUNNING in
+            # self._current; the supervisor recovers both.
+            telemetry.incr("service.workers_killed")
 
     # -- job execution ---------------------------------------------------
 
     def _execute(self, job: Job) -> None:
+        if not job.claim(self.name):
+            # Duplicated pop or a cancel that won the race: the job is
+            # owned elsewhere (or terminal) and must not run here.
+            telemetry.incr("service.duplicate_pops_skipped")
+            return
         self._current = job
-        job.state = JobState.RUNNING
-        job.worker = self.name
-        job.started_at = time.time()
         telemetry.observe(
             "service.queue_wait_seconds", job.started_at - job.submitted_at
         )
+        if job.deadline_passed(job.started_at):
+            # Expired while queued: fail at dequeue, never prove.
+            telemetry.incr("service.deadline_exceeded")
+            job.finish(
+                JobState.FAILED,
+                error=(
+                    f"DeadlineExceeded: {job.deadline_seconds}s deadline "
+                    "passed while queued"
+                ),
+            )
+            self.failed += 1
+            telemetry.incr("service.jobs_failed")
+            self._emit("failed", job)
+            self._current = None
+            return
         self._emit("started", job)
         observer = self._phase_observer(job)
         telemetry.add_span_observer(observer)
+        died = False
         try:
+            if self._chaos is not None:
+                self._chaos.on_prove(job, self.name)
             seed_scope = (
                 deterministic_rng(job.rng_seed)
                 if job.rng_seed is not None
@@ -100,20 +196,55 @@ class ProverWorker(threading.Thread):
             with telemetry.job_scope(
                 job_id=str(job.job_id), trace_id=job.trace_id
             ), seed_scope:
-                job.response = self._prover.answer(job.sql)
-            job.finish(JobState.DONE)
-            self.completed += 1
-            telemetry.incr("service.jobs_done")
-            self._emit("finished", job)
+                response = self._prover.answer(job.sql)
+            digest = response_digest(response)
+            if (
+                job.expected_digest is not None
+                and job.rng_seed is not None
+                and digest != job.expected_digest
+            ):
+                raise RecoveryMismatch(
+                    f"replayed proof digest {digest} != journaled "
+                    f"{job.expected_digest} for {job.job_id}"
+                )
+            job.response = response
+            job.result_digest = digest
+            if job.finish(JobState.DONE):
+                self.completed += 1
+                telemetry.incr("service.jobs_done")
+                self._emit("finished", job)
+        except WorkerKilled:
+            died = True
+            raise
+        except _DeadlineAbort:
+            telemetry.incr("service.deadline_exceeded")
+            if job.finish(
+                JobState.FAILED,
+                error=(
+                    f"DeadlineExceeded: aborted mid-prove after its "
+                    f"{job.deadline_seconds}s deadline"
+                ),
+            ):
+                self.failed += 1
+                telemetry.incr("service.jobs_failed")
+                self._emit("failed", job)
         except BaseException as exc:  # a job must never kill the worker
-            job.finish(JobState.FAILED, error=f"{type(exc).__name__}: {exc}")
-            self.failed += 1
-            telemetry.incr("service.jobs_failed")
-            self._emit("failed", job)
+            error = f"{type(exc).__name__}: {exc}"
+            if (
+                not is_deterministic_failure(exc)
+                and self._retry is not None
+                and self._retry(job, error)
+            ):
+                pass  # re-enqueued; the job is not terminal
+            elif job.finish(JobState.FAILED, error=error):
+                self.failed += 1
+                telemetry.incr("service.jobs_failed")
+                self._emit("failed", job)
         finally:
             telemetry.remove_span_observer(observer)
             job.open_spans.clear()
-            self._current = None
+            if not died:
+                self._current = None
 
     def _emit(self, event: str, job: Job) -> None:
         """Deliver a lifecycle event to the service hook; a broken hook
@@ -128,12 +259,16 @@ class ProverWorker(threading.Thread):
     def _phase_observer(self, job: Job):
         """A span observer mirroring this thread's spans onto ``job``
         (other threads' spans are ignored): the live span path for
-        ``status()``, plus the ``prove*`` phase bookkeeping."""
+        ``status()``, the ``prove*`` phase bookkeeping, and the
+        cooperative deadline check."""
         thread_id = threading.get_ident()
+        deadline = job.deadline_at
 
         def observe(span, event: str) -> None:
             if threading.get_ident() != thread_id:
                 return
+            if deadline is not None and time.time() > deadline:
+                raise _DeadlineAbort()
             name = getattr(span, "name", "")
             if event == "begin":
                 job.open_spans.append(name)
@@ -150,3 +285,32 @@ class ProverWorker(threading.Thread):
                     job.phase = None
 
         return observe
+
+
+class Supervisor(threading.Thread):
+    """The farm's watchdog thread.
+
+    Calls the service-provided ``tick`` every ``interval`` seconds;
+    the service's tick respawns dead workers (recovering their
+    orphaned jobs through the retry policy) and releases retry-backoff
+    jobs whose delay has elapsed.  A raising tick is counted
+    (``service.supervisor_errors``) and retried next period rather
+    than allowed to kill supervision.
+    """
+
+    def __init__(self, tick: Callable[[], None], interval: float,
+                 name: str = "service-supervisor"):
+        super().__init__(name=name, daemon=True)
+        self._tick = tick
+        self._interval = interval
+        self._stop_event = threading.Event()
+
+    def request_stop(self) -> None:
+        self._stop_event.set()
+
+    def run(self) -> None:  # pragma: no branch - loop structure
+        while not self._stop_event.wait(self._interval):
+            try:
+                self._tick()
+            except Exception:
+                telemetry.incr("service.supervisor_errors")

@@ -74,7 +74,51 @@ class TestArtifactCache:
         value, hit = cache.fetch("demo", ("k",), lambda: [1, 2, 3])
         assert not hit and value == [1, 2, 3]
         # And the rebuild repaired the artifact on disk.
-        assert pickle.loads(cache.path_for(key).read_bytes()) == [1, 2, 3]
+        assert pickle.loads(cache.get_bytes(key)) == [1, 2, 3]
+
+    def test_bit_flip_detected_and_evicted(self, cache):
+        """A single flipped payload bit fails the frame digest: the
+        artifact is evicted, counted, and rebuilt -- it never reaches
+        the deserializer (which might happily unpickle garbage)."""
+        from repro import telemetry
+
+        cache.fetch("demo", ("flip",), lambda: list(range(64)))
+        key = cache_key("demo", "flip")
+        path = cache.path_for(key)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x40  # flip one bit mid-payload
+        path.write_bytes(bytes(raw))
+        was_enabled = telemetry.enable(True)
+        try:
+            before = telemetry.counters_snapshot().get(
+                "cache.corrupt_evictions", 0
+            )
+            assert cache.get_bytes(key) is None
+            assert not path.exists()  # evicted on sight
+            after = telemetry.counters_snapshot().get(
+                "cache.corrupt_evictions", 0
+            )
+        finally:
+            telemetry.enable(was_enabled)
+        assert after == before + 1
+        value, hit = cache.fetch("demo", ("flip",), lambda: list(range(64)))
+        assert not hit and value == list(range(64))
+        assert cache.get_bytes(key) is not None  # repaired
+
+    def test_truncated_artifact_evicted(self, cache):
+        cache.fetch("demo", ("trunc",), lambda: b"x" * 1000)
+        key = cache_key("demo", "trunc")
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:37])
+        assert cache.get_bytes(key) is None
+        assert not path.exists()
+
+    def test_frame_round_trip_raw_bytes(self, cache):
+        cache.put_bytes("raw-key", b"\x00\x01\x02payload")
+        assert cache.get_bytes("raw-key") == b"\x00\x01\x02payload"
+        # Empty payloads frame fine too.
+        cache.put_bytes("empty", b"")
+        assert cache.get_bytes("empty") == b""
 
     def test_disabled_cache_never_stores(self, tmp_path):
         cache = ArtifactCache(tmp_path, enabled=False)

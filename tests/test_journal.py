@@ -1,0 +1,248 @@
+"""The durable job journal: framing, torn-tail tolerance, corruption
+detection, and replay folding.
+
+The property tests pin the WAL's central contract with hypothesis:
+for *any* record sequence and *any* crash point inside the final
+frame, replay returns exactly the intact prefix -- never an exception,
+never a phantom record.  Damage strictly before the final frame, by
+contrast, must refuse to replay (:class:`~repro.errors.JournalCorrupt`)
+rather than silently recover a wrong prefix.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JournalCorrupt, JournalError
+from repro.service.journal import (
+    MAGIC,
+    JobJournal,
+    encode_record,
+    read_records,
+    replay,
+)
+
+
+def write_journal(path, records):
+    frames = b"".join(encode_record(r) for r in records)
+    path.write_bytes(MAGIC + frames)
+    return frames
+
+
+RECORDS = [
+    {"rec": "submitted", "job": "job-a", "sql": "select 1", "seq": 1,
+     "priority": 1, "rng_seed": 7, "max_retries": 2},
+    {"rec": "running", "job": "job-a", "worker": "w0"},
+    {"rec": "submitted", "job": "job-b", "sql": "select 2", "seq": 2,
+     "priority": 0},
+    {"rec": "done", "job": "job-a", "digest": "abc123"},
+    {"rec": "failed", "job": "job-b", "error": "boom"},
+]
+
+
+class TestFraming:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j"
+        write_journal(path, RECORDS)
+        records, torn = read_records(path)
+        assert records == RECORDS and torn == 0
+
+    def test_missing_and_empty_files_read_empty(self, tmp_path):
+        assert read_records(tmp_path / "absent") == ([], 0)
+        (tmp_path / "empty").write_bytes(b"")
+        assert read_records(tmp_path / "empty") == ([], 0)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "j"
+        path.write_bytes(b"NOTJRN" + encode_record(RECORDS[0]))
+        with pytest.raises(JournalCorrupt):
+            read_records(path)
+
+    def test_appender_writes_replayable_frames(self, tmp_path):
+        path = tmp_path / "j"
+        with JobJournal(path) as journal:
+            journal.append("submitted", "job-x", sql="select 1", seq=9)
+            journal.append("done", "job-x", digest="d")
+            assert journal.appended == 2
+        # Reopen appends after the existing records, no second magic.
+        with JobJournal(path) as journal:
+            journal.append("failed", "job-y", error="late")
+        records, torn = read_records(path)
+        assert [r["rec"] for r in records] == ["submitted", "done", "failed"]
+        assert torn == 0
+
+    def test_append_coerces_non_json_values(self, tmp_path):
+        with JobJournal(tmp_path / "j") as journal:
+            record = journal.append("submitted", "job-x", weird=object())
+        assert isinstance(record["weird"], str)
+
+    def test_unwritable_path_raises_typed_error(self, tmp_path):
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        with pytest.raises(JournalError):
+            JobJournal(target)
+
+
+class TestTornTail:
+    """A crash mid-append leaves a damaged *final* frame; every such
+    journal must replay its intact prefix."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_records=st.integers(min_value=1, max_value=5),
+        cut=st.integers(min_value=1, max_value=250),
+    )
+    def test_truncation_anywhere_keeps_intact_prefix(
+        self, tmp_path_factory, n_records, cut
+    ):
+        path = tmp_path_factory.mktemp("journal") / "j"
+        records = RECORDS[:n_records]
+        frame_sizes = [len(encode_record(r)) for r in records]
+        frames = write_journal(path, records)
+        cut = min(cut, len(frames))
+        kept = len(frames) - cut
+        path.write_bytes(MAGIC + frames[:kept])
+        # Exactly the records whose frames fit in the kept bytes
+        # survive; everything behind the cut is torn tail, byte for
+        # byte.
+        expect, consumed = 0, 0
+        while (
+            expect < n_records and consumed + frame_sizes[expect] <= kept
+        ):
+            consumed += frame_sizes[expect]
+            expect += 1
+        got, torn = read_records(path)
+        assert got == records[:expect]
+        assert torn == kept - consumed
+
+    @settings(max_examples=40, deadline=None)
+    @given(partial=st.integers(min_value=1, max_value=11))
+    def test_partial_final_frame_tolerated(self, tmp_path_factory, partial):
+        path = tmp_path_factory.mktemp("journal") / "j"
+        frames = write_journal(path, RECORDS)
+        extra = encode_record({"rec": "running", "job": "job-b"})
+        cut = min(partial, len(extra) - 1)
+        path.write_bytes(MAGIC + frames + extra[:cut])
+        got, torn = read_records(path)
+        assert got == RECORDS
+        assert torn == cut
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_final_frame_bitflip_to_eof_tolerated(
+        self, tmp_path_factory, data
+    ):
+        """Flipping payload bits of the *last* frame is the overwrite-
+        in-progress crash signature: replay keeps everything before."""
+        path = tmp_path_factory.mktemp("journal") / "j"
+        frames = b"".join(encode_record(r) for r in RECORDS[:-1])
+        last = encode_record(RECORDS[-1])
+        index = data.draw(
+            st.integers(min_value=8, max_value=len(last) - 1), label="byte"
+        )
+        bit = data.draw(st.integers(min_value=0, max_value=7), label="bit")
+        damaged = bytearray(last)
+        damaged[index] ^= 1 << bit
+        path.write_bytes(MAGIC + frames + bytes(damaged))
+        got, torn = read_records(path)
+        assert got == RECORDS[:-1]
+        assert torn == len(last)
+
+
+class TestCorruption:
+    def test_midfile_payload_damage_refuses_replay(self, tmp_path):
+        """Payload damage with intact frames *after* it cannot be a
+        torn append -- replaying the prefix would silently drop jobs
+        the service acknowledged, so it must raise instead."""
+        path = tmp_path / "j"
+        first = bytearray(encode_record(RECORDS[0]))
+        first[-2] ^= 0xFF  # corrupt the first record's payload
+        rest = b"".join(encode_record(r) for r in RECORDS[1:])
+        path.write_bytes(MAGIC + bytes(first) + rest)
+        with pytest.raises(JournalCorrupt) as excinfo:
+            read_records(path)
+        assert excinfo.value.offset == len(MAGIC)
+
+    def test_undecodable_json_refuses_replay(self, tmp_path):
+        import struct
+        import zlib
+
+        payload = b"\xff\xfenot json"
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        (tmp_path / "j").write_bytes(MAGIC + frame)
+        with pytest.raises(JournalCorrupt):
+            read_records(tmp_path / "j")
+
+    def test_non_object_record_refuses_replay(self, tmp_path):
+        import struct
+        import zlib
+
+        payload = json.dumps([1, 2, 3]).encode()
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        (tmp_path / "j").write_bytes(MAGIC + frame)
+        with pytest.raises(JournalCorrupt):
+            read_records(tmp_path / "j")
+
+    def test_absurd_length_running_past_eof_reads_as_torn(self, tmp_path):
+        import struct
+
+        frame = struct.pack("<II", 1 << 30, 0) + b"\x00" * 64
+        good = encode_record(RECORDS[0])
+        # A garbage length field always claims more bytes than the file
+        # holds here, which is indistinguishable from a torn append:
+        # the prefix before it replays, nothing after is trusted.
+        (tmp_path / "torn").write_bytes(MAGIC + frame + good)
+        got, torn = read_records(tmp_path / "torn")
+        assert got == [] and torn > 0
+
+    def test_partial_magic_reads_as_torn_creation(self, tmp_path):
+        (tmp_path / "j").write_bytes(MAGIC[:3])
+        assert read_records(tmp_path / "j") == ([], 3)
+
+
+class TestReplayFolding:
+    def test_lifecycle_folds_to_final_state(self, tmp_path):
+        path = tmp_path / "j"
+        write_journal(path, RECORDS)
+        result = replay(path)
+        assert result.records == 5 and result.torn_tail_bytes == 0
+        assert result.max_seq == 2
+        job_a = result.jobs["job-a"]
+        assert job_a.state == "done" and job_a.digest == "abc123"
+        assert job_a.sql == "select 1" and job_a.rng_seed == 7
+        assert job_a.max_retries == 2
+        job_b = result.jobs["job-b"]
+        assert job_b.state == "failed" and job_b.error == "boom"
+        # done jobs still need replay (their response lived in memory);
+        # failed jobs are terminal.
+        assert [j.job_id for j in result.pending()] == ["job-a"]
+        assert [j.job_id for j in result.terminal()] == ["job-b"]
+
+    def test_retry_and_cancel_records(self, tmp_path):
+        path = tmp_path / "j"
+        write_journal(path, [
+            {"rec": "submitted", "job": "j1", "sql": "q", "seq": 4},
+            {"rec": "running", "job": "j1", "worker": "w"},
+            {"rec": "retry", "job": "j1", "attempt": 1, "error": "died"},
+            {"rec": "submitted", "job": "j2", "sql": "q", "seq": 5},
+            {"rec": "cancelled", "job": "j2", "error": "client"},
+        ])
+        result = replay(path)
+        assert result.jobs["j1"].state == "retry"
+        assert result.jobs["j1"].attempts == 1
+        assert not result.jobs["j1"].terminal
+        assert result.jobs["j2"].terminal
+        assert [j.job_id for j in result.pending()] == ["j1"]
+
+    def test_unknown_records_and_orphan_transitions_skipped(self, tmp_path):
+        path = tmp_path / "j"
+        write_journal(path, [
+            {"rec": "future-type", "job": "j1"},
+            {"rec": "running", "job": "never-submitted"},
+            {"no_rec_key": True},
+            {"rec": "submitted", "job": "j2", "sql": "q", "seq": 1},
+        ])
+        result = replay(path)
+        assert list(result.jobs) == ["j2"]

@@ -383,6 +383,303 @@ class TestScheduling:
         assert results == {i: f"response:q{i}" for i in range(8)}
 
 
+class TestCancellation:
+    def test_cancel_queued_job(self, stub_session):
+        session, gate, order = stub_session
+        with session.serve(ServiceConfig(workers=1)) as service:
+            blocker = service.submit("block-0")
+            assert wait_for(
+                lambda: service.status(blocker).state == JobState.RUNNING
+            )
+            doomed = service.submit("never-runs")
+            keeper = service.submit("still-runs")
+            service.cancel(doomed)
+            assert service.status(doomed).state == JobState.CANCELLED
+            with pytest.raises(JobFailed, match="cancelled by client"):
+                service.result(doomed)
+            # wait() on a cancelled job returns immediately (the done
+            # event fired), raising the terminal failure.
+            with pytest.raises(JobFailed, match="cancelled"):
+                service.wait(doomed, timeout=5)
+            gate.set()
+            assert service.wait(keeper, timeout=10) == "response:still-runs"
+        assert "never-runs" not in order
+
+    def test_cancel_running_or_finished_rejected(self, stub_session):
+        session, gate, _ = stub_session
+        with session.serve(ServiceConfig(workers=1)) as service:
+            job = service.submit("block-1")
+            assert wait_for(
+                lambda: service.status(job).state == JobState.RUNNING
+            )
+            with pytest.raises(StateError, match="only queued"):
+                service.cancel(job)
+            gate.set()
+            service.wait(job, timeout=10)
+            with pytest.raises(StateError):
+                service.cancel(job)
+            with pytest.raises(JobNotFound):
+                service.cancel("job-999999-deadbeef")
+
+
+class TestJobTimeout:
+    def test_wait_raises_typed_timeout(self, stub_session):
+        from repro.errors import JobTimeout, ServiceError
+
+        session, gate, _ = stub_session
+        with session.serve(ServiceConfig(workers=1)) as service:
+            job = service.submit("block-1")
+            with pytest.raises(JobTimeout) as excinfo:
+                service.wait(job, timeout=0.05)
+            # Typed for service callers, still a TimeoutError for
+            # pre-existing except clauses, and it names the job.
+            assert isinstance(excinfo.value, TimeoutError)
+            assert isinstance(excinfo.value, ServiceError)
+            assert excinfo.value.job_id == job
+            assert str(job) in str(excinfo.value)
+            gate.set()
+            service.wait(job, timeout=10)
+
+
+class TestTenantQuotas:
+    def test_quota_bounds_active_jobs_per_tenant(self, stub_session):
+        session, gate, _ = stub_session
+        config = ServiceConfig(
+            workers=1,
+            tenant_quotas={"acme": 2},
+            default_tenant_quota=1,
+        )
+        with session.serve(config) as service:
+            blocker = service.submit("block-0", tenant="acme")
+            assert wait_for(
+                lambda: service.status(blocker).state == JobState.RUNNING
+            )
+            second = service.submit("q2", tenant="acme")
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                service.submit("q3", tenant="acme")
+            assert excinfo.value.tenant == "acme"
+            assert excinfo.value.quota == 2
+            # Unknown tenants get the default quota...
+            service.submit("q4", tenant="other")
+            with pytest.raises(ServiceOverloaded):
+                service.submit("q5", tenant="other")
+            # ...and untenanted jobs are never quota-checked.
+            service.submit("q6")
+            gate.set()
+            service.wait(second, timeout=10)
+            # Finished jobs release quota capacity.
+            service.wait(service.submit("q7", tenant="acme"), timeout=10)
+
+    def test_rejection_leaves_no_residue(self, stub_session):
+        session, gate, _ = stub_session
+        config = ServiceConfig(workers=1, tenant_quotas={"t": 1})
+        with session.serve(config) as service:
+            blocker = service.submit("block-0", tenant="t")
+            assert wait_for(
+                lambda: service.status(blocker).state == JobState.RUNNING
+            )
+            with pytest.raises(ServiceOverloaded):
+                service.submit("q", tenant="t")
+            stats = service.stats()
+            assert stats["tenants"] == {"t": 1}
+            assert stats["jobs"].get("QUEUED", 0) == 0
+            gate.set()
+
+
+class TestRetriesAndSupervision:
+    def test_killed_worker_job_retried_and_farm_respawned(self, stub_session):
+        from repro.service.chaos import ChaosInjector
+
+        session, _, _ = stub_session
+        chaos = ChaosInjector(seed=5, kills=1)
+        config = ServiceConfig(
+            workers=1,
+            max_retries=2,
+            retry_backoff_seconds=0.01,
+            retry_backoff_max=0.05,
+            supervisor_interval=0.02,
+        )
+        with session.serve(config, chaos=chaos) as service:
+            job = service.submit("survives-a-kill")
+            assert service.wait(job, timeout=30) == "response:survives-a-kill"
+            status = service.status(job)
+            assert status.attempts == 1  # one kill, one retry
+            assert service.workers_restarted >= 1
+            health = service.health()
+            assert health["workers_restarted"] >= 1
+            assert all(w["alive"] for w in health["workers"].values())
+            assert len(health["workers"]) == 1  # still exactly one slot
+
+    def test_retry_budget_exhaustion_fails_job(self, stub_session):
+        from repro.service.chaos import ChaosInjector
+        from repro.service.scheduler import WorkerKilled
+
+        session, _, _ = stub_session
+
+        class AlwaysKill(ChaosInjector):
+            def on_prove(self, job, worker):
+                raise WorkerKilled("chaos: every attempt dies")
+
+        config = ServiceConfig(
+            workers=1,
+            max_retries=1,
+            retry_backoff_seconds=0.01,
+            supervisor_interval=0.02,
+        )
+        with session.serve(config, chaos=AlwaysKill(seed=0)) as service:
+            job = service.submit("doomed")
+            with pytest.raises(JobFailed, match="died mid-job"):
+                service.wait(job, timeout=30)
+            assert service.status(job).attempts == 1  # budget spent
+
+    def test_deterministic_failure_never_retried(self, real_run):
+        session = real_run["session"]
+        config = ServiceConfig(
+            workers=1, max_retries=3, retry_backoff_seconds=0.01,
+            supervisor_interval=0.02,
+        )
+        with session.serve(config) as service:
+            job = service.submit("definitely not sql")
+            with pytest.raises(JobFailed):
+                service.wait(job, timeout=30)
+            # A parse error is a property of the input: retrying would
+            # burn three proofs to fail identically, so attempts stays 0.
+            assert service.status(job).attempts == 0
+
+
+class TestDeadlines:
+    def test_deadline_expired_while_queued_fails_at_dequeue(
+        self, stub_session
+    ):
+        session, gate, order = stub_session
+        with session.serve(ServiceConfig(workers=1)) as service:
+            blocker = service.submit("block-0")
+            assert wait_for(
+                lambda: service.status(blocker).state == JobState.RUNNING
+            )
+            doomed = service.submit("expired", deadline_seconds=0.05)
+            time.sleep(0.15)
+            gate.set()
+            with pytest.raises(JobFailed, match="passed while queued"):
+                service.wait(doomed, timeout=10)
+        assert "expired" not in order
+
+    def test_deadline_aborts_mid_prove(self, real_run):
+        """The cooperative abort path: the span observer notices the
+        blown budget partway through a real prove and unwinds it."""
+        session = real_run["session"]
+        with session.serve(ServiceConfig(workers=1)) as service:
+            job = service.submit(
+                SQL_COUNT, rng_seed=SEED_COUNT, deadline_seconds=0.3
+            )
+            with pytest.raises(JobFailed, match="aborted mid-prove"):
+                service.wait(job, timeout=60)
+            # The worker survives the abort and serves the next job.
+            ok = service.submit(SQL_COUNT, rng_seed=SEED_COUNT)
+            service.wait(ok, timeout=60)
+
+
+class TestQueueRaces:
+    """Direct JobQueue coverage: exact shed boundaries and the
+    close/pop races the service's shutdown path depends on."""
+
+    def _job(self, sql="q", priority=Priority.NORMAL):
+        from repro.service.jobs import Job
+
+        return Job(sql, priority=priority)
+
+    def test_exact_shed_boundary(self):
+        from repro.service.queue import JobQueue
+
+        q = JobQueue(max_depth=4, high_priority_reserve=2)
+        assert q.depth_limit(Priority.NORMAL) == 2
+        assert q.depth_limit(Priority.HIGH) == 4
+        q.push(self._job())
+        q.push(self._job())  # depth 2 == NORMAL bound: next one sheds
+        with pytest.raises(ServiceOverloaded):
+            q.push(self._job())
+        with pytest.raises(ServiceOverloaded):
+            q.push(self._job(priority=Priority.LOW))
+        q.push(self._job(priority=Priority.HIGH))
+        q.push(self._job(priority=Priority.HIGH))  # depth 4 == cap
+        with pytest.raises(ServiceOverloaded):
+            q.push(self._job(priority=Priority.HIGH))
+        assert q.shed_count == 3
+
+    def test_force_push_bypasses_depth_but_not_close(self):
+        from repro.service.queue import JobQueue
+
+        q = JobQueue(max_depth=1)
+        q.push(self._job())
+        with pytest.raises(ServiceOverloaded):
+            q.push(self._job())
+        q.push(self._job(), force=True)  # recovery/retry re-admission
+        assert len(q) == 2
+        q.close()
+        with pytest.raises(ServiceClosed):
+            q.push(self._job(), force=True)
+
+    def test_remove_withdraws_exactly_once(self):
+        from repro.service.queue import JobQueue
+
+        q = JobQueue(max_depth=8)
+        jobs = [self._job(f"q{i}") for i in range(4)]
+        for job in jobs:
+            q.push(job)
+        assert q.remove(jobs[1])
+        assert not q.remove(jobs[1])  # already gone
+        popped = [q.pop(timeout=0.1) for _ in range(3)]
+        assert jobs[1] not in popped
+        assert len(q) == 0
+
+    def test_blocked_pop_wakes_on_close(self):
+        from repro.service.queue import JobQueue
+
+        q = JobQueue(max_depth=4)
+        result = {}
+
+        def popper():
+            result["job"] = q.pop(timeout=10)
+
+        t = threading.Thread(target=popper)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=2)
+        assert not t.is_alive(), "pop() stayed blocked across close()"
+        assert result["job"] is None
+
+    def test_close_pop_race_never_loses_or_duplicates(self):
+        """Hammer pop() from several threads while close() drains: every
+        job must surface exactly once -- either popped or drained."""
+        from repro.service.queue import JobQueue
+
+        for trial in range(20):
+            q = JobQueue(max_depth=64)
+            jobs = [self._job(f"q{i}") for i in range(8)]
+            for job in jobs:
+                q.push(job)
+            popped, lock = [], threading.Lock()
+
+            def drainer():
+                while True:
+                    job = q.pop(timeout=0.05)
+                    if job is None:
+                        return
+                    with lock:
+                        popped.append(job)
+
+            threads = [threading.Thread(target=drainer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            drained = q.close()
+            for t in threads:
+                t.join(timeout=5)
+            seen = popped + drained
+            assert len(seen) == 8, f"trial {trial}: {len(seen)} of 8 jobs"
+            assert len({id(job) for job in seen}) == 8
+
+
 class TestServiceConfig:
     @pytest.mark.parametrize(
         "kwargs",
