@@ -28,6 +28,7 @@ from repro.api import PoneglyphDB, Session
 from repro.cache import ArtifactCache, default_cache_dir
 from repro.config import ProverConfig, ServiceConfig
 from repro.errors import (
+    BatchInversionError,
     ConfigError,
     DeadlineExceeded,
     JobFailed,
@@ -88,6 +89,7 @@ __all__ = [
     "Priority",
     # Error hierarchy
     "ReproError",
+    "BatchInversionError",
     "ConfigError",
     "StateError",
     "WireFormatError",

@@ -1,0 +1,58 @@
+"""Optional gmpy2 scalar backend.
+
+gmpy2 wraps GMP, whose 254-bit multiplication and extended-GCD
+inversion beat CPython's bigints by a useful margin *per scalar op*.
+The structure of the hot loops is unchanged -- this backend accelerates
+the Montgomery inversion ladder element-by-element, it does not
+vectorize -- so it composes with (and loses to) the numpy limb engine
+wherever that one applies, which is why ``auto`` prefers numpy.
+
+The import is gated: on hosts without gmpy2 (:meth:`available` False)
+the ``auto`` chain skips straight past this backend and nothing here
+executes.  gmpy2 is NOT vendored or required; it arrives only via the
+``perf`` optional-dependency extra.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.backend import FieldBackend
+
+try:  # pragma: no cover - exercised only where gmpy2 is installed
+    import gmpy2 as _gmpy2
+except ImportError:  # pragma: no cover
+    _gmpy2 = None
+
+#: Below this, mpz conversion overhead eats the per-op win.
+MIN_BATCH = 64
+
+
+class Gmpy2Backend(FieldBackend):
+    """Montgomery batch inversion on ``mpz`` scalars; every other hook
+    declines (whole-array work belongs to the numpy engine)."""
+
+    name = "gmpy2"
+
+    @classmethod
+    def available(cls) -> bool:
+        return _gmpy2 is not None
+
+    def batch_inv(self, values: Sequence[int], p: int) -> list[int] | None:
+        if _gmpy2 is None or len(values) < MIN_BATCH:
+            return None
+        mpz = _gmpy2.mpz
+        mp = mpz(p)
+        n = len(values)
+        ms = [mpz(v) for v in values]
+        prefix = [mpz(0)] * n
+        acc = mpz(1)
+        for i, v in enumerate(ms):
+            prefix[i] = acc
+            acc = acc * v % mp
+        inv_acc = _gmpy2.invert(acc, mp)
+        out = [0] * n
+        for i in range(n - 1, -1, -1):
+            out[i] = int(prefix[i] * inv_acc % mp)
+            inv_acc = inv_acc * ms[i] % mp
+        return out

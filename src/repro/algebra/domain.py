@@ -12,6 +12,7 @@ All transforms operate in place on lists of raw ints.
 from __future__ import annotations
 
 from repro import kernels, parallel, telemetry
+from repro.algebra import backend as field_backend
 from repro.algebra import fft_plan
 from repro.algebra.field import Field
 
@@ -43,7 +44,10 @@ def fft_in_place(values: list[int], omega: int, p: int) -> None:
     With the kernel fast path enabled the bit-reversal indices and
     per-stage twiddle ladders come from the per-``(n, omega, p)`` plan
     cache (:mod:`repro.algebra.fft_plan`) instead of being rebuilt per
-    call; the butterflies are identical, so outputs match exactly.
+    call; the butterflies are identical, so outputs match exactly.  The
+    active field backend may take the transform over entirely (numpy
+    limb-vector butterflies); its output is bit-identical to the plan
+    path, so proofs do not depend on which engine ran.
     """
     n = len(values)
     if n & (n - 1):
@@ -52,6 +56,10 @@ def fft_in_place(values: list[int], omega: int, p: int) -> None:
     telemetry.incr("fft.points", n)
     telemetry.observe("fft.points_per_call", n)
     if kernels.fastpath_enabled():
+        out = field_backend.active().ntt(values, omega, p)
+        if out is not None:
+            values[:] = out
+            return
         fft_plan.ntt_in_place(values, fft_plan.plan_for(n, omega, p))
         return
     _bit_reverse_permute(values)
@@ -279,18 +287,44 @@ class EvaluationDomain:
         each) with a single Montgomery batch inversion -- the verifier
         uses this to evaluate instance columns at each distinct opening
         point (see ``proving/verifier.py``).
+
+        The active field backend may fuse the whole computation: the
+        identity ``L_i(x) = (z/n) / (x * omega^-i - 1)`` (multiply the
+        numerator and denominator by ``omega^-i``) lets a vector engine
+        generate the denominators, invert them with a resident product
+        tree, and scale them without crossing the int boundary between
+        steps.  Same field elements out either way.
         """
         p = self.field.p
         count = min(count, self.size)
         x = x % p
-        omegas = [1] * count
-        for i in range(1, count):
-            omegas[i] = omegas[i - 1] * self.omega % p
         z = self.vanishing_eval(x)
         if z == 0:
             # x lies in the domain: L_i(omega^j) = [i == j].
-            return [1 if x == w else 0 for w in omegas]
+            w = 1
+            out = []
+            for _ in range(count):
+                out.append(1 if x == w else 0)
+                w = w * self.omega % p
+            return out
         n_inv = self.size_inv
+        fused = field_backend.active().lagrange_evals(
+            x,
+            count,
+            p=p,
+            omega=self.omega,
+            omega_inv=self.omega_inv,
+            size=self.size,
+            kk=z * n_inv % p,
+        )
+        if fused is not None:
+            # The reference path counts one inversion per basis via
+            # Field.batch_inv; keep the counters backend-independent.
+            telemetry.incr("field.inversions", count)
+            return fused
+        omegas = [1] * count
+        for i in range(1, count):
+            omegas[i] = omegas[i - 1] * self.omega % p
         denominators = [(x - w) % p for w in omegas]
         inverses = self.field.batch_inv(denominators)
         return [

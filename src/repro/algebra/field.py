@@ -28,6 +28,8 @@ from contextlib import contextmanager
 from typing import Iterable, Iterator, Sequence
 
 from repro import telemetry
+from repro.algebra import backend as field_backend
+from repro.errors import BatchInversionError
 
 #: Thread-local override stream for :meth:`Field.rand` (see
 #: :func:`deterministic_rng`).  Thread-local so concurrent proving jobs
@@ -83,21 +85,29 @@ def montgomery_batch_inv(values: Sequence[int], p: int) -> list[int]:
     for bookkeeping conversions (point normalization, worker chunks)
     whose call count depends on the execution backend, which would make
     serial and parallel counter totals disagree.
+
+    A zero input raises :class:`~repro.errors.BatchInversionError`
+    naming the offending index (detected up front, before any work).
+    The active field backend may take over the ladder (gmpy2's GMP
+    multiply); results are identical either way.
     """
     n = len(values)
+    vals = [v % p for v in values]
+    if 0 in vals:
+        raise BatchInversionError(vals.index(0))
+    out = field_backend.active().batch_inv(vals, p)
+    if out is not None:
+        return out
     prefix = [0] * n
     acc = 1
-    for i, v in enumerate(values):
-        v %= p
-        if v == 0:
-            raise ZeroDivisionError("batch_inv of zero element")
+    for i, v in enumerate(vals):
         prefix[i] = acc
         acc = acc * v % p
     inv_acc = pow(acc, p - 2, p)
     out = [0] * n
     for i in range(n - 1, -1, -1):
         out[i] = prefix[i] * inv_acc % p
-        inv_acc = inv_acc * (values[i] % p) % p
+        inv_acc = inv_acc * vals[i] % p
     return out
 
 
@@ -197,8 +207,10 @@ class Field:
         """Invert many nonzero elements with a single field inversion.
 
         Montgomery's trick: O(n) multiplications plus one inversion.
-        Zero inputs raise ZeroDivisionError (callers in the prover
-        guarantee nonzero denominators by construction).
+        Zero inputs raise :class:`~repro.errors.BatchInversionError`
+        naming the offending index (callers in the prover guarantee
+        nonzero denominators by construction; when that contract breaks
+        the error says exactly where).
 
         Large inputs are inverted in chunks across the worker pool when
         one is configured (one extra modexp per chunk; the inverses

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro import parallel, telemetry
+from repro.algebra import backend as field_backend
 from repro.cache import ArtifactCache, resolve_cache
 from repro.commit.params import PublicParams, cached_setup, setup
 from repro.config import ProverConfig, ServiceConfig
@@ -82,6 +83,9 @@ class Session:
         self._previous_telemetry = (
             telemetry.enable(True) if config.telemetry else telemetry.enabled()
         )
+        self._previous_field_backend = field_backend.set_backend(
+            config.field_backend
+        )
         self._closed = False
 
         self.params_cache_hit = False
@@ -105,12 +109,13 @@ class Session:
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
-        """Restore the parallelism and telemetry settings the session
-        overrode."""
+        """Restore the parallelism, telemetry and field-backend
+        settings the session overrode."""
         if not self._closed:
             parallel.configure(self._previous_workers)
             if self.config.telemetry:
                 telemetry.enable(self._previous_telemetry)
+            field_backend.set_backend(self._previous_field_backend)
             self._closed = True
 
     def __enter__(self) -> "Session":

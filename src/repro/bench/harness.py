@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro import parallel, telemetry
+from repro.algebra import backend as field_backend
 from repro.algebra.field import SCALAR_FIELD
 from repro.baselines.cost_models import PaperCalibration, column_work
 from repro.cache import ArtifactCache, NullCache, resolve_cache
@@ -194,6 +195,7 @@ def bench_metadata(
         "seed": config.seed,
         "workers": config.workers,
         "host_cpus": os.cpu_count(),
+        "field_backend": field_backend.backend_name(),
         "telemetry": (
             telemetry_metrics
             if telemetry_metrics is not None

@@ -56,6 +56,12 @@ class ProverConfig:
         lifetime.  Proved responses then carry a ``report`` dict with
         per-phase wall times and counters; off (the default) the
         instrumentation is a no-op.
+    field_backend:
+        Field-arithmetic engine for the session
+        (:mod:`repro.algebra.backend`): ``auto`` (the default) picks
+        the fastest available, ``python`` / ``numpy`` / ``gmpy2`` force
+        one.  All engines produce bit-identical proofs; this is purely
+        a performance knob.
     field / curve:
         The circuit field and commitment curve (the paper's choices by
         default).
@@ -70,6 +76,7 @@ class ProverConfig:
     use_cache: bool = True
     scale: int = 64
     telemetry: bool = False
+    field_backend: str = "auto"
     field: Field = dc_field(default=SCALAR_FIELD, repr=False)
     curve: Curve = dc_field(default=PALLAS, repr=False)
 
@@ -93,6 +100,11 @@ class ProverConfig:
             raise ConfigError(f"workers must be >= 0, got {self.workers}")
         if self.scale < 0:
             raise ConfigError(f"scale must be >= 0, got {self.scale}")
+        if self.field_backend not in ("auto", "python", "numpy", "gmpy2"):
+            raise ConfigError(
+                "field_backend must be one of 'auto', 'python', 'numpy', "
+                f"'gmpy2', got {self.field_backend!r}"
+            )
 
     @property
     def n_rows(self) -> int:

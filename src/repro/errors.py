@@ -25,6 +25,19 @@ class ConfigError(ReproError, ValueError):
     component was asked to run outside its configured capacity."""
 
 
+class BatchInversionError(ReproError, ValueError, ZeroDivisionError):
+    """Batch inversion was handed a zero element, which has no inverse.
+    ``index`` names the offending position in the input batch.  Also a
+    ``ZeroDivisionError`` (the type this code historically raised), so
+    pre-existing handlers keep working."""
+
+    def __init__(self, index: int):
+        super().__init__(
+            f"batch_inv input at index {index} is zero (0 has no inverse)"
+        )
+        self.index = index
+
+
 class StateError(ReproError, RuntimeError):
     """An operation was invoked out of lifecycle order -- verifying
     before committing, fetching a result before the job finished."""
@@ -135,6 +148,7 @@ class RecoveryMismatch(ServiceError):
 
 __all__ = [
     "ReproError",
+    "BatchInversionError",
     "ConfigError",
     "StateError",
     "WireFormatError",

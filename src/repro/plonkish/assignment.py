@@ -11,6 +11,7 @@ opened evaluations comes from, exactly as in Halo2).
 
 from __future__ import annotations
 
+from repro.algebra import backend as field_backend
 from repro.algebra.field import Field
 from repro.plonkish.constraint_system import Column, ColumnKind, ConstraintSystem
 
@@ -69,6 +70,13 @@ class Assignment:
             )
         storage = self._storage(column)
         p = self.field.p
+        # Database scans assign whole columns of machine-sized values;
+        # the field backend can certify them already-reduced in one
+        # vectorized range check instead of n bigint mods.
+        reduced = field_backend.active().reduce_column(values, p)
+        if reduced is not None:
+            storage[: len(reduced)] = reduced
+            return
         for i, v in enumerate(values):
             storage[i] = v % p
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.algebra import backend as field_backend
 from repro.plonkish.expression import (
     ColumnQuery,
     Constant,
@@ -32,7 +33,17 @@ def evaluate_expression_ext(
 
     ``get_column_ext(column)`` must return the column polynomial's
     extended-coset evaluations (length ``ext_n``).
+
+    The active field backend may evaluate the whole tree with one
+    vectorized operation per AST node (columns lifted to limb arrays
+    once, rotations as cyclic array shifts); the result is identical to
+    the reference recursion below.
     """
+    vectorized = field_backend.active().eval_expression_ext(
+        expr, get_column_ext, ext_n, rotation_factor, p
+    )
+    if vectorized is not None:
+        return vectorized
     if isinstance(expr, Constant):
         return [expr.value % p] * ext_n
     if isinstance(expr, ColumnQuery):

@@ -5,6 +5,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algebra import BASE_FIELD, SCALAR_FIELD, Field, Felt
+from repro.algebra.field import montgomery_batch_inv
+from repro.errors import BatchInversionError
 
 FIELDS = [BASE_FIELD, SCALAR_FIELD]
 
@@ -87,6 +89,27 @@ class TestFieldOps:
     def test_batch_inv_zero_raises(self, field):
         with pytest.raises(ZeroDivisionError):
             field.batch_inv([1, 2, 0, 4])
+
+    def test_batch_inv_zero_error_names_index(self, field):
+        """The typed error reports exactly which input was zero."""
+        with pytest.raises(BatchInversionError) as excinfo:
+            field.batch_inv([1, 2, 0, 4])
+        assert excinfo.value.index == 2
+        assert "index 2" in str(excinfo.value)
+
+    def test_batch_inv_zero_detected_up_front(self, field):
+        """A congruent-to-zero value (p itself) is caught before any
+        work, at its own index -- not discovered mid-ladder."""
+        with pytest.raises(BatchInversionError) as excinfo:
+            montgomery_batch_inv([3, field.p, 5], field.p)
+        assert excinfo.value.index == 1
+
+    def test_batch_inv_zero_error_is_value_and_zero_division(self, field):
+        """Historical handlers catch either builtin type."""
+        with pytest.raises(ValueError):
+            field.batch_inv([0])
+        with pytest.raises(ZeroDivisionError):
+            montgomery_batch_inv([7, 0], field.p)
 
     @given(a=elements)
     @settings(max_examples=30)
